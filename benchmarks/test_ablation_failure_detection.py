@@ -1,0 +1,90 @@
+"""Ablation: fixed-timeout vs adaptive failure detection.
+
+The paper's fault model includes "performance and timing faults" —
+messages that arrive, but late.  This bench quantifies the membership
+layer's behaviour under a gradually intensifying network-delay storm:
+
+- the fixed 350 ms timeout (the paper-era default) false-suspects live
+  daemons and permanently shrinks the membership;
+- the adaptive inter-arrival-statistics detector widens its threshold
+  ahead of the degradation and keeps the membership intact, while
+  still detecting a real crash afterwards.
+"""
+
+import pytest
+
+from conftest import print_header
+
+from repro.gcs import GcsClient, GcsDaemon
+from repro.net import Network, RampJitter
+from repro.sim import (
+    GcsCalibration,
+    Process,
+    Simulator,
+    default_calibration,
+)
+
+HOSTS = ["h1", "h2", "h3", "h4"]
+STORM_US = 8_000_000.0
+PEAK_US = 900_000.0
+
+
+def _run(adaptive: bool, crash_after: bool, seed: int = 41):
+    calibration = default_calibration().with_overrides(
+        gcs=GcsCalibration(adaptive_failure_detection=adaptive))
+    sim = Simulator(seed=seed)
+    network = Network(sim, calibration.network)
+    hosts = {name: network.add_host(name) for name in HOSTS}
+    daemons = {}
+    for name in HOSTS:
+        proc = Process(hosts[name], f"gcsd-{name}")
+        daemons[name] = GcsDaemon(proc, network, HOSTS, calibration.gcs)
+    sim.run(until=100_000)
+
+    network.add_loss_model(RampJitter(sim.now, sim.now + STORM_US,
+                                      PEAK_US))
+    sim.run(until=sim.now + STORM_US + 4_000_000)
+    storm_views = {name: daemons[name].view.members
+                   for name in HOSTS if hosts[name].alive}
+
+    crash_detected_in = None
+    if crash_after:
+        crash_at = sim.now
+        hosts["h4"].crash()
+        probe_step = 100_000.0
+        while sim.now - crash_at < 20_000_000.0:
+            sim.run(until=sim.now + probe_step)
+            if all("h4" not in daemons[n].view.members
+                   for n in HOSTS[:3]):
+                crash_detected_in = sim.now - crash_at
+                break
+    return storm_views, crash_detected_in
+
+
+def test_ablation_fixed_detector_collapses_under_timing_fault(benchmark):
+    storm_views, _ = benchmark.pedantic(
+        lambda: _run(adaptive=False, crash_after=False),
+        rounds=1, iterations=1)
+    print_header("Ablation — fixed 350 ms timeout under a delay storm")
+    for name, members in storm_views.items():
+        print(f"  {name}: view={list(members)}")
+    # At least one live daemon was falsely evicted somewhere.
+    assert any(len(members) < len(HOSTS)
+               for members in storm_views.values())
+
+
+def test_ablation_adaptive_detector_survives_and_still_detects(benchmark):
+    storm_views, detected_in = benchmark.pedantic(
+        lambda: _run(adaptive=True, crash_after=True),
+        rounds=1, iterations=1)
+    print_header("Ablation — adaptive detector under the same storm")
+    for name, members in storm_views.items():
+        print(f"  {name}: view={list(members)}")
+    print(f"  real crash after the storm detected in "
+          f"{(detected_in or 0) / 1000.0:.0f} ms")
+    # Membership intact through the storm...
+    assert all(members == tuple(HOSTS)
+               for members in storm_views.values())
+    # ...and a genuine crash is still detected promptly.
+    assert detected_in is not None
+    assert detected_in < 5_000_000.0

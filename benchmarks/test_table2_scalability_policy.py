@@ -1,0 +1,107 @@
+"""Paper Table 2 (and Fig. 8) — the scalability-knob policy.
+
+Requirements (Section 4.3): latency <= 7000 us, bandwidth <= 3 MB/s,
+best fault-tolerance possible, ties broken by
+cost = 0.5 * L/7000us + 0.5 * B/(3 MB/s).
+
+Paper's synthesized policy:
+
+    Ncli    1      2      3      4      5
+    conf  A(3)   A(3)   P(3)   P(3)   P(2)
+    FT      2      2      2      2      1
+
+The benchmark feeds the *measured* Fig. 7 profile of the simulated
+substrate through the same synthesis and checks that the selected
+configuration pattern — including the fault-tolerance drop at five
+clients — reproduces.
+"""
+
+import pytest
+
+from conftest import print_header
+
+from repro.core import Constraints, CostFunction, ScalabilityPolicy
+from repro.errors import ContractViolation
+from repro.replication import ReplicationStyle
+
+#: The paper's Table 2 selections.
+PAPER_PATTERN = ["A(3)", "A(3)", "P(3)", "P(3)", "P(2)"]
+PAPER_FAULTS = [2, 2, 2, 2, 1]
+
+
+@pytest.fixture(scope="module")
+def policy(request):
+    profile, _ = request.getfixturevalue("fig7_profile")
+    return ScalabilityPolicy.synthesize(
+        profile, Constraints(), CostFunction())
+
+
+def test_table2_policy(benchmark, policy):
+    result = benchmark.pedantic(lambda: policy, rounds=1, iterations=1)
+    print_header("Table 2 — policy for scalability tuning")
+    print(f"{'Ncli':>4s} {'config':>8s} {'latency[us]':>12s} "
+          f"{'bw[MB/s]':>10s} {'faults':>7s} {'cost':>7s}")
+    labels = []
+    faults = []
+    for entry in result.table():
+        labels.append(entry.config.label)
+        faults.append(entry.faults_tolerated)
+        print(f"{entry.n_clients:4d} {entry.config.label:>8s} "
+              f"{entry.latency_us:12.1f} {entry.bandwidth_mbps:10.3f} "
+              f"{entry.faults_tolerated:7d} {entry.cost:7.3f}")
+    print(f"\npaper:    {PAPER_PATTERN}")
+    print(f"measured: {labels}")
+
+    assert labels == PAPER_PATTERN
+    assert faults == PAPER_FAULTS
+
+
+def test_table2_costs_increase_with_load(benchmark, policy):
+    """Costs rise with the client count while the chosen configuration
+    is unchanged (within a run of identical configs); the final P(2)
+    row may dip because dropping a replica sheds bandwidth — in the
+    paper's absolute numbers it happened to stay monotone."""
+    result = benchmark.pedantic(lambda: policy, rounds=1, iterations=1)
+    table = result.table()
+    for previous, current in zip(table, table[1:]):
+        if previous.config == current.config:
+            assert current.cost > previous.cost
+    assert table[-1].cost > table[0].cost
+
+
+def test_table2_all_selected_configs_respect_constraints(benchmark, policy):
+    result = benchmark.pedantic(lambda: policy, rounds=1, iterations=1)
+    for entry in result.table():
+        assert entry.latency_us <= 7000.0
+        assert entry.bandwidth_mbps <= 3.0
+
+
+def test_fig8_infeasible_beyond_profile(benchmark, fig7_profile):
+    """Section 4.3: "for a higher load, we cannot satisfy the
+    requirements ... the system notifies the operators that the tuning
+    policy can no longer be honored."  Extrapolate the passive latency
+    trend to larger client counts and confirm the synthesis reports
+    infeasibility."""
+    from repro.core import ConfigPoint, Measurement, Profile
+    profile, _ = fig7_profile
+
+    def run():
+        extended = Profile(list(profile))
+        # Linear extrapolation of each configuration's trends to 8
+        # clients (both styles break a constraint there).
+        for config in profile.configs():
+            m4 = profile.get(config, 4)
+            m5 = profile.get(config, 5)
+            extended.add(Measurement(
+                config=config, n_clients=8,
+                latency_us=m5.latency_us + 3 * (m5.latency_us - m4.latency_us),
+                jitter_us=m5.jitter_us,
+                bandwidth_mbps=m5.bandwidth_mbps
+                + 3 * max(0.0, m5.bandwidth_mbps - m4.bandwidth_mbps)
+                + 1.0))
+        return ScalabilityPolicy.synthesize(extended)
+
+    policy = benchmark.pedantic(run, rounds=1, iterations=1)
+    with pytest.raises(ContractViolation):
+        policy.best_configuration(8)
+    assert policy.max_supported_clients() == 5

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""The scalability high-level knob (paper Section 4.3, Fig. 8, Table 2).
+
+Three steps, exactly as the paper prescribes:
+
+1. **Profile** — measure latency and bandwidth for every combination
+   of replication style, redundancy level and client count (Fig. 7).
+2. **Synthesize** — apply the requirements (latency <= 7000 us,
+   bandwidth <= 3 MB/s, maximize fault-tolerance, break ties by the
+   cost heuristic) to derive the policy table (Table 2).
+3. **Tune** — drive a live system through the high-level knob: the
+   operator says "N clients", the knob sets the replication style and
+   replica count.
+
+Run:  python examples/scalability_tuning.py
+(The profiling sweep simulates 20 configurations; give it ~a minute.)
+"""
+
+from repro.core import (
+    Constraints,
+    CostFunction,
+    NumReplicasKnob,
+    ReplicationStyleKnob,
+    ScalabilityKnob,
+    ScalabilityPolicy,
+)
+from repro.errors import ContractViolation
+from repro.experiments import (
+    Testbed,
+    build_profile,
+    deploy_client,
+    deploy_replica,
+)
+from repro.orb import CounterServant
+from repro.replication import (
+    ClientReplicationConfig,
+    ReplicaFactory,
+    ReplicationConfig,
+    ReplicationStyle,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Step 1: gather the empirical profile (Fig. 7 sweep).
+    # ------------------------------------------------------------------
+    print("profiling: 2 styles x {2,3} replicas x 1..5 clients ...")
+    profile, results = build_profile(n_requests=100, seed=0)
+    print(f"  {len(profile)} configurations measured\n")
+
+    # ------------------------------------------------------------------
+    # Step 2: synthesize the policy under the paper's requirements.
+    # ------------------------------------------------------------------
+    constraints = Constraints(max_latency_us=7000.0,
+                              max_bandwidth_mbps=3.0)
+    policy = ScalabilityPolicy.synthesize(profile, constraints,
+                                          CostFunction())
+    print("synthesized policy (paper Table 2):")
+    print(f"{'Ncli':>4s} {'config':>8s} {'latency[us]':>12s} "
+          f"{'bw[MB/s]':>10s} {'faults':>7s} {'cost':>7s}")
+    for entry in policy.table():
+        print(f"{entry.n_clients:4d} {entry.config.label:>8s} "
+              f"{entry.latency_us:12.1f} {entry.bandwidth_mbps:10.3f} "
+              f"{entry.faults_tolerated:7d} {entry.cost:7.3f}")
+    print(f"(paper's Table 2 pattern: A(3) A(3) P(3) P(3) P(2))\n")
+
+    # ------------------------------------------------------------------
+    # Step 3: drive a live system through the high-level knob.
+    # ------------------------------------------------------------------
+    testbed = Testbed.paper_testbed(4, 1, seed=1)
+    config = ReplicationConfig(style=ReplicationStyle.ACTIVE, group="svc")
+    style_knob = ReplicationStyleKnob([])
+
+    def spawn(host):
+        replica = deploy_replica(testbed, host.name, config,
+                                 {"counter": CounterServant},
+                                 process_name=f"svc@{host.name}")
+        style_knob.add_replica(replica.replicator)
+        return replica
+
+    manager = testbed.connect(testbed.spawn("w01", "mgr"))
+    hosts = [testbed.hosts[f"s{i:02d}"] for i in range(1, 5)]
+    factory = ReplicaFactory(manager, "svc", hosts, spawn, target=2,
+                             calibration=testbed.calibration.replication)
+    deploy_client(testbed, "w01", ClientReplicationConfig(group="svc"))
+    testbed.run(3_000_000)
+
+    knob = ScalabilityKnob(policy, style_knob,
+                           NumReplicasKnob(factory))
+    for n_clients in (1, 4):
+        knob.set(n_clients)
+        testbed.run(4_000_000)
+        entry = knob.last_entry
+        print(f"scalability knob <- {n_clients} clients: "
+              f"policy selects {entry.config.label}; live system is now "
+              f"style={style_knob.get().value}, "
+              f"replicas={factory.live_count}")
+
+    # Beyond the profiled range the policy must refuse and tell the
+    # operator (Section 4.3's closing point).
+    try:
+        policy.best_configuration(policy.max_supported_clients() + 1)
+    except (ContractViolation, Exception) as exc:
+        print(f"\nbeyond the supported load the operator is notified:"
+              f"\n  {type(exc).__name__}: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Adaptation: the automatic monitoring -> policy -> switch loop.
+
+Public surface:
+
+- :class:`AdaptationManager` — per-replica adaptation driver
+- :class:`AdaptationEvent` — one decision record
+
+The Fig. 5 switch *protocol* itself lives with the replicator
+(:mod:`repro.replication.switch` / :class:`ServerReplicator`); this
+package is the policy layer that decides *when* to invoke it.
+"""
+
+from repro.adaptation.manager import AdaptationEvent, AdaptationManager
+from repro.adaptation.modes import (
+    ModeManager,
+    ModeTransition,
+    OperatingMode,
+)
+
+__all__ = [
+    "AdaptationEvent",
+    "AdaptationManager",
+    "ModeManager",
+    "ModeTransition",
+    "OperatingMode",
+]

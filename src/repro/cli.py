@@ -1,0 +1,206 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+- ``breakdown`` — Fig. 3 round-trip component breakdown
+- ``profile``   — run the Fig. 7 sweep; print (and optionally CSV-export)
+- ``policy``    — synthesize and print the Table 2 scalability policy
+- ``adaptive``  — run the Fig. 6 adaptive-replication scenario
+- ``report``    — regenerate the full EXPERIMENTS.md report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import Constraints, CostFunction, ScalabilityPolicy, ThresholdSwitchPolicy
+from repro.experiments import (
+    build_profile,
+    run_adaptive_scenario,
+    run_rtt_breakdown,
+)
+from repro.replication import ReplicationStyle
+from repro.sim import PAPER_FIG3_BREAKDOWN
+from repro.tools import policy_to_csv, profile_to_csv, render_series
+from repro.workload import SpikeProfile
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    breakdown = run_rtt_breakdown(n_requests=args.requests, seed=args.seed)
+    print(f"{'component':24s} {'measured [us]':>14s} {'paper [us]':>12s}")
+    for component, paper_value in PAPER_FIG3_BREAKDOWN.items():
+        print(f"{component:24s} {breakdown.get(component, 0.0):14.1f} "
+              f"{paper_value:12.1f}")
+    print(f"{'TOTAL':24s} {sum(breakdown.values()):14.1f} "
+          f"{sum(PAPER_FIG3_BREAKDOWN.values()):12.1f}")
+    return 0
+
+
+def _sweep(args: argparse.Namespace):
+    return build_profile(n_requests=args.requests, seed=args.seed)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profile, _ = _sweep(args)
+    print(f"{'config':8s} {'clients':>8s} {'latency[us]':>12s} "
+          f"{'jitter[us]':>11s} {'bw[MB/s]':>9s}")
+    for m in sorted(profile, key=lambda m: (m.config.style.value,
+                                            m.config.n_replicas,
+                                            m.n_clients)):
+        print(f"{m.config.label:8s} {m.n_clients:8d} "
+              f"{m.latency_us:12.1f} {m.jitter_us:11.1f} "
+              f"{m.bandwidth_mbps:9.3f}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            profile_to_csv(profile, out=handle)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    profile, _ = _sweep(args)
+    policy = ScalabilityPolicy.synthesize(
+        profile,
+        Constraints(max_latency_us=args.max_latency,
+                    max_bandwidth_mbps=args.max_bandwidth),
+        CostFunction(latency_weight=args.weight,
+                     latency_norm_us=args.max_latency,
+                     bandwidth_norm_mbps=args.max_bandwidth))
+    print(f"{'Ncli':>4s} {'config':>8s} {'latency[us]':>12s} "
+          f"{'bw[MB/s]':>9s} {'faults':>7s} {'cost':>7s}")
+    for entry in policy.table():
+        print(f"{entry.n_clients:4d} {entry.config.label:>8s} "
+              f"{entry.latency_us:12.1f} {entry.bandwidth_mbps:9.3f} "
+              f"{entry.faults_tolerated:7d} {entry.cost:7.3f}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            policy_to_csv(policy, out=handle)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    profile = SpikeProfile(base_rate=args.base_rate,
+                           spike_rate=args.spike_rate,
+                           spike_start_us=1_500_000.0,
+                           spike_end_us=5_500_000.0)
+    policy = ThresholdSwitchPolicy(rate_high_per_s=args.high,
+                                   rate_low_per_s=args.low)
+    adaptive = run_adaptive_scenario(profile, 7_000_000.0, policy=policy,
+                                     n_clients=2, seed=args.seed)
+    static = run_adaptive_scenario(
+        profile, 7_000_000.0, n_clients=2,
+        static_style=ReplicationStyle.WARM_PASSIVE, seed=args.seed)
+    print(render_series(adaptive.rate_series[::5], width=40,
+                        label="request rate [req/s]"))
+    print("\nswitches:")
+    for record in adaptive.switch_events:
+        print(f"  {record.switch_id}: {record.from_style.short} -> "
+              f"{record.to_style.short} in {record.duration_us:.0f} us")
+    gain = (adaptive.observed_arrival_rate_per_s
+            / static.observed_arrival_rate_per_s - 1.0)
+    print(f"\nobserved arrival rate gain over static passive: "
+          f"{gain * 100:+.1f} % (paper: +4.1 %)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+    write_report(sys.stdout, n_requests=args.requests, seed=args.seed)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Self-check: calibration anchors + the Table 2 pattern."""
+    failures = 0
+
+    breakdown = run_rtt_breakdown(n_requests=max(args.requests, 150),
+                                  seed=args.seed)
+    print("calibration anchors (paper Fig. 3, tolerance 20 %):")
+    from repro.sim import PAPER_FIG3_BREAKDOWN as anchors
+    for component, paper_value in anchors.items():
+        measured = breakdown.get(component, 0.0)
+        drift = abs(measured - paper_value) / paper_value
+        status = "ok" if drift <= 0.20 else "DRIFTED"
+        if status != "ok":
+            failures += 1
+        print(f"  {component:22s} paper {paper_value:6.0f}  "
+              f"measured {measured:6.0f}  ({drift * 100:4.1f} %)  {status}")
+
+    print("\nTable 2 pattern (paper: A(3) A(3) P(3) P(3) P(2)):")
+    profile, _ = _sweep(args)
+    policy = ScalabilityPolicy.synthesize(profile, Constraints(),
+                                          CostFunction())
+    pattern = [policy.best_configuration(n).config.label
+               for n in (1, 2, 3, 4, 5)]
+    expected = ["A(3)", "A(3)", "P(3)", "P(3)", "P(2)"]
+    status = "ok" if pattern == expected else "MISMATCH"
+    if status != "ok":
+        failures += 1
+    print(f"  measured: {pattern}  {status}")
+
+    print(f"\nverify: {'PASS' if failures == 0 else 'FAIL'} "
+          f"({failures} problem(s))")
+    return 0 if failures == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Versatile Dependability (DSN 2004) reproduction")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    parser.add_argument("--requests", type=int, default=150,
+                        help="requests per client per configuration "
+                             "(default 150; paper used 10000)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("breakdown", help="Fig. 3 round-trip breakdown")
+
+    profile_parser = sub.add_parser("profile", help="Fig. 7 sweep")
+    profile_parser.add_argument("--csv", help="write the sweep as CSV")
+
+    policy_parser = sub.add_parser("policy",
+                                   help="Table 2 scalability policy")
+    policy_parser.add_argument("--max-latency", type=float, default=7000.0)
+    policy_parser.add_argument("--max-bandwidth", type=float, default=3.0)
+    policy_parser.add_argument("--weight", type=float, default=0.5,
+                               help="cost weight p (default 0.5)")
+    policy_parser.add_argument("--csv", help="write the policy as CSV")
+
+    adaptive_parser = sub.add_parser("adaptive",
+                                     help="Fig. 6 adaptive scenario")
+    adaptive_parser.add_argument("--base-rate", type=float, default=100.0)
+    adaptive_parser.add_argument("--spike-rate", type=float, default=1100.0)
+    adaptive_parser.add_argument("--high", type=float, default=400.0,
+                                 help="switch-up threshold [req/s]")
+    adaptive_parser.add_argument("--low", type=float, default=200.0,
+                                 help="switch-down threshold [req/s]")
+
+    sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
+    sub.add_parser("verify",
+                   help="self-check calibration + Table 2 pattern")
+    return parser
+
+
+_COMMANDS = {
+    "breakdown": _cmd_breakdown,
+    "profile": _cmd_profile,
+    "policy": _cmd_policy,
+    "adaptive": _cmd_adaptive,
+    "report": _cmd_report,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

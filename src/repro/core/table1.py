@@ -1,0 +1,75 @@
+"""Paper Table 1: the mapping from high-level to low-level knobs.
+
+The table records, for each high-level knob, (a) which low-level
+knobs implement it and (b) which application parameters — outside the
+framework's control — influence it.  The registry is used by the
+documentation benchmark (it *is* Table 1) and by the knob layer to
+sanity-check that a high-level knob only drives low-level knobs it is
+declared to depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Canonical low-level knob names.
+LOW_LEVEL_KNOBS = (
+    "replication_style",
+    "n_replicas",
+    "checkpoint_interval",
+)
+
+#: Canonical application-parameter names (not under framework control).
+APPLICATION_PARAMETERS = (
+    "request_rate",
+    "request_size",
+    "response_size",
+    "state_size",
+    "resources",
+)
+
+
+@dataclass(frozen=True)
+class KnobMapping:
+    """One row of Table 1."""
+
+    high_level: str
+    low_level: Tuple[str, ...]
+    application_parameters: Tuple[str, ...]
+
+
+#: The three rows of the paper's Table 1.
+TABLE_1: Dict[str, KnobMapping] = {
+    "scalability": KnobMapping(
+        high_level="scalability",
+        low_level=("replication_style", "n_replicas"),
+        application_parameters=("request_rate", "request_size",
+                                "response_size", "resources"),
+    ),
+    "availability": KnobMapping(
+        high_level="availability",
+        low_level=("replication_style", "checkpoint_interval"),
+        application_parameters=("state_size", "resources"),
+    ),
+    "real_time": KnobMapping(
+        high_level="real_time",
+        low_level=("replication_style", "n_replicas",
+                    "checkpoint_interval"),
+        application_parameters=("request_rate", "request_size",
+                                "response_size", "state_size",
+                                "resources"),
+    ),
+}
+
+
+def validate_table() -> None:
+    """Internal consistency: every referenced knob/parameter exists."""
+    for mapping in TABLE_1.values():
+        for knob in mapping.low_level:
+            if knob not in LOW_LEVEL_KNOBS:
+                raise ValueError(f"unknown low-level knob: {knob}")
+        for parameter in mapping.application_parameters:
+            if parameter not in APPLICATION_PARAMETERS:
+                raise ValueError(f"unknown application parameter: "
+                                 f"{parameter}")

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the versatile-dependability reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can distinguish library failures from programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly or reached a bad state."""
+
+
+class NetworkError(ReproError):
+    """A network-substrate operation failed (e.g. unknown host)."""
+
+
+class GroupCommunicationError(ReproError):
+    """A group-communication operation failed (e.g. not joined)."""
+
+
+class OrbError(ReproError):
+    """A mini-ORB operation failed (e.g. invoking a dead reference)."""
+
+
+class ReplicationError(ReproError):
+    """A replication-layer operation failed."""
+
+
+class AdaptationError(ReproError):
+    """A replication-style switch or adaptation action failed."""
+
+
+class ContractViolation(ReproError):
+    """A behavioural contract can no longer be honoured.
+
+    Raised (or reported) when no configuration satisfies the operator's
+    constraints, matching the paper's requirement that the system notify
+    operators when "the tuning policy can no longer be honored".
+    """
+
+
+class PolicyError(ReproError):
+    """A knob policy was mis-specified or cannot be evaluated."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter value was supplied."""

@@ -1,0 +1,57 @@
+"""Experiment harness shared by examples and benchmarks.
+
+Public surface:
+
+- :class:`Testbed` and the deploy helpers (:func:`deploy_replica`,
+  :func:`deploy_replica_group`, :func:`deploy_client`)
+- scenario engines: :func:`run_replicated_load`, :func:`build_profile`
+  (Fig. 7 sweep), :func:`run_rtt_breakdown` (Fig. 3),
+  :func:`run_overhead_modes` (Fig. 4), :func:`run_adaptive_scenario`
+  (Fig. 6)
+- result records: :class:`ScenarioResult`, :class:`OverheadResult`,
+  :class:`AdaptiveResult`
+"""
+
+from repro.experiments.scenarios import (
+    AdaptiveResult,
+    DEFAULT_PROCESSING_US,
+    DEFAULT_REPLY_BYTES,
+    DEFAULT_REQUEST_BYTES,
+    DEFAULT_STATE_BYTES,
+    OverheadResult,
+    ScenarioResult,
+    build_profile,
+    run_adaptive_scenario,
+    run_overhead_modes,
+    run_replicated_load,
+    run_rtt_breakdown,
+)
+from repro.experiments.testbed import (
+    ClientStack,
+    Replica,
+    Testbed,
+    deploy_client,
+    deploy_replica,
+    deploy_replica_group,
+)
+
+__all__ = [
+    "AdaptiveResult",
+    "ClientStack",
+    "DEFAULT_PROCESSING_US",
+    "DEFAULT_REPLY_BYTES",
+    "DEFAULT_REQUEST_BYTES",
+    "DEFAULT_STATE_BYTES",
+    "OverheadResult",
+    "Replica",
+    "ScenarioResult",
+    "Testbed",
+    "build_profile",
+    "deploy_client",
+    "deploy_replica",
+    "deploy_replica_group",
+    "run_adaptive_scenario",
+    "run_overhead_modes",
+    "run_replicated_load",
+    "run_rtt_breakdown",
+]

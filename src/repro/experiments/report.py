@@ -1,0 +1,233 @@
+"""Regenerate the paper-vs-measured experiment report.
+
+``python -m repro.experiments.report > EXPERIMENTS.md`` reruns every
+evaluation artifact (Figs. 3, 4, 6, 7, 9; Tables 1, 2) and emits a
+markdown report comparing the paper's numbers with this
+reproduction's.  The benchmark suite asserts the same claims; this
+module is the human-readable rendition.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.core import (
+    Constraints,
+    CostFunction,
+    DesignSpace,
+    ScalabilityPolicy,
+    TABLE_1,
+    ThresholdSwitchPolicy,
+)
+from repro.core.measurements import ConfigPoint
+from repro.experiments.scenarios import (
+    build_profile,
+    run_adaptive_scenario,
+    run_overhead_modes,
+    run_rtt_breakdown,
+)
+from repro.replication import ReplicationStyle
+from repro.sim import PAPER_FIG3_BREAKDOWN
+from repro.workload import SpikeProfile
+
+#: Paper Table 2 rows: (Ncli, config, latency us, bandwidth MB/s,
+#: faults tolerated, cost).
+PAPER_TABLE_2 = [
+    (1, "A(3)", 1245.8, 1.074, 2, 0.268),
+    (2, "A(3)", 1457.2, 2.032, 2, 0.443),
+    (3, "P(3)", 4966.0, 1.887, 2, 0.669),
+    (4, "P(3)", 6141.1, 2.315, 2, 0.825),
+    (5, "P(2)", 6006.2, 2.799, 1, 0.895),
+]
+
+A = ReplicationStyle.ACTIVE
+P = ReplicationStyle.WARM_PASSIVE
+
+
+def write_report(out: TextIO, n_requests: int = 150,
+                 seed: int = 0) -> None:
+    """Render the full paper-vs-measured markdown report to ``out``."""
+    w = out.write
+    w("# EXPERIMENTS — paper vs. measured\n\n")
+    w("Regenerate with `python -m repro.experiments.report "
+      "> EXPERIMENTS.md`.\n")
+    w(f"Parameters: {n_requests} requests/client/configuration "
+      f"(paper: 10,000), seed {seed}, substrate calibrated to the "
+      "paper's Fig. 3 component costs (`repro.sim.config`).\n\n")
+    w("Absolute numbers come from a simulated substrate, so the claim\n"
+      "checked for each artifact is the paper's *shape* — who wins, by\n"
+      "roughly what factor, where crossovers fall — as asserted by the\n"
+      "benchmark suite (`pytest benchmarks/ --benchmark-only`).\n\n")
+
+    # ------------------------------------------------------------------
+    # Fig. 3
+    # ------------------------------------------------------------------
+    w("## Fig. 3 — round-trip breakdown (1 client, 1 replica)\n\n")
+    breakdown = run_rtt_breakdown(n_requests=max(n_requests, 200),
+                                  seed=seed)
+    w("| component | paper [µs] | measured [µs] |\n|---|---|---|\n")
+    for component, paper_value in PAPER_FIG3_BREAKDOWN.items():
+        w(f"| {component} | {paper_value:.0f} | "
+          f"{breakdown.get(component, 0.0):.0f} |\n")
+    w(f"| **total** | **{sum(PAPER_FIG3_BREAKDOWN.values()):.0f}** | "
+      f"**{sum(breakdown.values()):.0f}** |\n\n")
+    w("Group communication dominates; the replicator adds a small "
+      "overhead — both as in the paper.\n\n")
+
+    # ------------------------------------------------------------------
+    # Fig. 4
+    # ------------------------------------------------------------------
+    w("## Fig. 4 — overhead of the replicator\n\n")
+    modes = run_overhead_modes(n_requests=max(n_requests, 200), seed=seed)
+    w("| mode | mean RTT [µs] | jitter [µs] |\n|---|---|---|\n")
+    for mode in ("no_interceptor", "client_intercepted",
+                 "server_intercepted", "both_intercepted",
+                 "warm_passive_1", "active_1"):
+        bar = modes[mode]
+        w(f"| {mode} | {bar.latency_mean_us:.0f} | "
+          f"{bar.jitter_us:.0f} |\n")
+    w("\nInterception alone is cheap; the replication mechanisms add "
+      "the real latency — the paper's Fig. 4 reading.  (The paper "
+      "plots absolute bars around 1000-2500 µs on its hardware.)\n\n")
+
+    # ------------------------------------------------------------------
+    # Fig. 7 sweep (feeds Table 2 and Fig. 9)
+    # ------------------------------------------------------------------
+    w("## Fig. 7 — latency / bandwidth trade-off sweep\n\n")
+    profile, _ = build_profile(n_requests=n_requests, seed=seed)
+
+    def cell(style, n_rep, n_cli, metric):
+        return getattr(profile.get(ConfigPoint(style, n_rep), n_cli),
+                       metric)
+
+    for metric, title, fmt in (
+            ("latency_us", "(a) mean round-trip latency [µs]", "{:.0f}"),
+            ("bandwidth_mbps", "(b) bandwidth usage [MB/s]", "{:.3f}")):
+        w(f"### {title}\n\n")
+        w("| config | 1 | 2 | 3 | 4 | 5 clients |\n|---|---|---|---|---|---|\n")
+        for style in (A, P):
+            for n_rep in (2, 3):
+                cells = " | ".join(
+                    fmt.format(cell(style, n_rep, n, metric))
+                    for n in (1, 2, 3, 4, 5))
+                w(f"| {ConfigPoint(style, n_rep).label} | {cells} |\n")
+        w("\n")
+    lat_ratio = cell(P, 3, 5, "latency_us") / cell(A, 3, 5, "latency_us")
+    bw_ratio = (cell(A, 3, 5, "bandwidth_mbps")
+                / cell(P, 3, 5, "bandwidth_mbps"))
+    w(f"- passive/active latency ratio at 5 clients: "
+      f"**{lat_ratio:.2f}×** (paper: \"roughly three times slower\")\n")
+    w(f"- active/passive bandwidth ratio at 5 clients: "
+      f"**{bw_ratio:.2f}×** (paper: \"about twice the bandwidth\")\n")
+    w("- passive latency grows almost linearly with clients; active "
+      "stays comparatively flat — both as in Fig. 7(a).\n\n")
+
+    # ------------------------------------------------------------------
+    # Table 2
+    # ------------------------------------------------------------------
+    w("## Table 2 / Fig. 8 — scalability-knob policy\n\n")
+    w("Constraints exactly as the paper: latency ≤ 7000 µs, bandwidth "
+      "≤ 3 MB/s, maximize faults tolerated, ties by "
+      "cost = 0.5·L/7000 + 0.5·B/3.\n\n")
+    policy = ScalabilityPolicy.synthesize(profile, Constraints(),
+                                          CostFunction())
+    w("| Ncli | paper | paper cost | measured | measured latency [µs] "
+      "| measured bw [MB/s] | faults | measured cost |\n"
+      "|---|---|---|---|---|---|---|---|\n")
+    for (n_cli, paper_cfg, paper_lat, paper_bw, paper_ft,
+         paper_cost) in PAPER_TABLE_2:
+        entry = policy.best_configuration(n_cli)
+        w(f"| {n_cli} | {paper_cfg} | {paper_cost:.3f} | "
+          f"{entry.config.label} | {entry.latency_us:.0f} | "
+          f"{entry.bandwidth_mbps:.3f} | {entry.faults_tolerated} | "
+          f"{entry.cost:.3f} |\n")
+    measured_pattern = [policy.best_configuration(n).config.label
+                        for n in (1, 2, 3, 4, 5)]
+    paper_pattern = [row[1] for row in PAPER_TABLE_2]
+    verdict = ("**exactly reproduced**" if measured_pattern == paper_pattern
+               else f"mismatch: {measured_pattern}")
+    w(f"\nSelected-configuration pattern {verdict}, including the drop "
+      "from 2 to 1 tolerated faults at five clients.\n\n")
+
+    # ------------------------------------------------------------------
+    # Fig. 9
+    # ------------------------------------------------------------------
+    w("## Fig. 9 — the dependability design space\n\n")
+    space = DesignSpace.from_profile(profile)
+    overlap = space.regions_overlap(A, P)
+    w(f"- measured configurations per style: active "
+      f"{len(space.region(A))}, passive {len(space.region(P))} "
+      "(each style covers a *region*, not a point)\n")
+    w(f"- regions disjoint at every matched operating condition: "
+      f"**{not overlap}** (paper: \"the two regions are "
+      "non-overlapping\")\n")
+    w(f"- covered volume of the normalized design cube: "
+      f"{space.coverage_volume():.3f}\n\n")
+
+    # ------------------------------------------------------------------
+    # Fig. 6
+    # ------------------------------------------------------------------
+    w("## Fig. 6 — runtime adaptive replication\n\n")
+    spike = SpikeProfile(base_rate=100.0, spike_rate=1100.0,
+                         spike_start_us=1_500_000.0,
+                         spike_end_us=5_500_000.0)
+    threshold = ThresholdSwitchPolicy(rate_high_per_s=400.0,
+                                      rate_low_per_s=200.0)
+    adaptive = run_adaptive_scenario(spike, 7_000_000.0, policy=threshold,
+                                     n_clients=2, seed=seed)
+    static = run_adaptive_scenario(spike, 7_000_000.0, n_clients=2,
+                                   static_style=P, seed=seed)
+    gain = (adaptive.observed_arrival_rate_per_s
+            / static.observed_arrival_rate_per_s - 1.0)
+    w("| metric | adaptive | static passive |\n|---|---|---|\n")
+    w(f"| observed arrival rate [req/s] | "
+      f"{adaptive.observed_arrival_rate_per_s:.1f} | "
+      f"{static.observed_arrival_rate_per_s:.1f} |\n")
+    w(f"| mean latency [µs] | {adaptive.mean_latency_us:.0f} | "
+      f"{static.mean_latency_us:.0f} |\n")
+    w(f"| style switches | {len(adaptive.switch_events)} | 0 |\n\n")
+    switch_durations = ", ".join(
+        f"{r.duration_us:.0f}" for r in adaptive.switch_events)
+    w(f"- switch completion times [µs]: {switch_durations} — "
+      "\"comparable to the average response time\" as claimed\n")
+    w(f"- observed-arrival-rate gain over static passive: "
+      f"**{gain * 100:+.1f} %** (paper: +4.1 %; same direction and "
+      "mechanism — faster replies let closed-loop clients send "
+      "sooner — larger magnitude because our spike occupies a larger "
+      "fraction of the run)\n\n")
+
+    # ------------------------------------------------------------------
+    # Table 1
+    # ------------------------------------------------------------------
+    w("## Table 1 — high-level to low-level knob mapping\n\n")
+    w("| high-level knob | low-level knobs | application parameters |\n"
+      "|---|---|---|\n")
+    for name, row in TABLE_1.items():
+        w(f"| {name} | {', '.join(row.low_level)} | "
+          f"{', '.join(row.application_parameters)} |\n")
+    w("\nStructural, as in the paper; the benchmark additionally "
+      "validates behaviourally that the scalability and availability "
+      "knobs drive exactly their declared low-level knobs.\n\n")
+
+    # ------------------------------------------------------------------
+    # Substitutions
+    # ------------------------------------------------------------------
+    w("## Substitutions\n\n")
+    w("The paper's testbed (7× Pentium III / RedHat 9 / Spread "
+      "3.17.01 / TAO 1.4) is replaced by a deterministic "
+      "discrete-event simulation with the same architecture: per-host "
+      "GCS daemons, sequencer-based total order with virtual "
+      "synchrony, a GIOP-like ORB, and an interposition-based "
+      "replicator.  Cost constants are calibrated to the paper's "
+      "Fig. 3 measurements; see DESIGN.md for the full substitution "
+      "table and rationale.\n")
+
+
+def main() -> None:
+    """CLI shim: write the report to stdout."""
+    write_report(sys.stdout)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Fault injection for the paper's fault model.
+
+Public surface:
+
+- :class:`FaultInjector` — schedule crash / loss / timing faults
+- :class:`InjectedFault` — record of one injection
+"""
+
+from repro.faults.injector import FaultInjector, InjectedFault
+
+__all__ = ["FaultInjector", "InjectedFault"]

@@ -1,0 +1,104 @@
+"""Fault injection.
+
+The assumed fault model (Section 3.1): "hardware and software crash
+faults, transient communication faults, performance and timing
+faults".  A :class:`FaultInjector` schedules any mix of those against
+a running testbed; every injected fault is recorded for the
+experiment report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.loss import BurstLoss, DelaySpike
+from repro.net.network import Network
+from repro.sim.host import Host, Process
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Record of one injected fault."""
+
+    kind: str
+    target: str
+    at_us: float
+    until_us: Optional[float] = None
+
+
+class FaultInjector:
+    """Schedules crash/communication/timing faults on a testbed."""
+
+    def __init__(self, sim: Simulator, network: Network):
+        self.sim = sim
+        self.network = network
+        self.injected: List[InjectedFault] = []
+
+    # ------------------------------------------------------------------
+    # Crash faults
+    # ------------------------------------------------------------------
+    def crash_process_at(self, process: Process, at_us: float) -> None:
+        """Software crash fault: kill one process at an absolute time."""
+        self._check_future(at_us)
+        self.sim.schedule_at(at_us, process.kill, "injected fault")
+        self.injected.append(InjectedFault(
+            kind="process_crash", target=process.name, at_us=at_us))
+
+    def crash_host_at(self, host: Host, at_us: float) -> None:
+        """Hardware crash fault: kill a whole host at an absolute time."""
+        self._check_future(at_us)
+        self.sim.schedule_at(at_us, host.crash)
+        self.injected.append(InjectedFault(
+            kind="host_crash", target=host.name, at_us=at_us))
+
+    # ------------------------------------------------------------------
+    # Communication faults
+    # ------------------------------------------------------------------
+    def loss_burst(self, start_us: float, end_us: float,
+                   rate: float = 1.0) -> BurstLoss:
+        """Transient communication fault: drop frames in a window."""
+        model = BurstLoss(start_us, end_us, rate)
+        self.network.add_loss_model(model)
+        self.injected.append(InjectedFault(
+            kind="loss_burst", target=f"rate={rate}", at_us=start_us,
+            until_us=end_us))
+        return model
+
+    # ------------------------------------------------------------------
+    # Performance / timing faults
+    # ------------------------------------------------------------------
+    def delay_spike(self, start_us: float, end_us: float,
+                    extra_us: float) -> DelaySpike:
+        """Timing fault: messages arrive, but late."""
+        model = DelaySpike(start_us, end_us, extra_us)
+        self.network.add_loss_model(model)
+        self.injected.append(InjectedFault(
+            kind="delay_spike", target=f"extra={extra_us}us",
+            at_us=start_us, until_us=end_us))
+        return model
+
+    def cpu_hog_at(self, host: Host, at_us: float,
+                   busy_us: float) -> None:
+        """Performance fault: steal the CPU for ``busy_us`` (models a
+        runaway co-located task)."""
+        self._check_future(at_us)
+        if busy_us <= 0:
+            raise ConfigurationError("busy time must be positive")
+
+        def hog() -> None:
+            if host.alive:
+                host.cpu.execute(busy_us, lambda: None)
+
+        self.sim.schedule_at(at_us, hog)
+        self.injected.append(InjectedFault(
+            kind="cpu_hog", target=host.name, at_us=at_us,
+            until_us=at_us + busy_us))
+
+    def _check_future(self, at_us: float) -> None:
+        if at_us < self.sim.now:
+            raise ConfigurationError(
+                f"cannot inject a fault in the past (t={at_us}, "
+                f"now={self.sim.now})")

@@ -1,0 +1,940 @@
+"""Group-communication daemon (the Spread-daemon analogue).
+
+One daemon runs per host.  Application processes connect to their
+local daemon through :class:`repro.gcs.client.GcsClient`.  Daemons
+provide:
+
+- **membership**: daemon-level views maintained by all-to-all
+  heartbeats plus a coordinator-driven flush protocol; group-level
+  views derived from totally-ordered JOIN/LEAVE stamps;
+- **reliable ordered multicast**: AGREED (total order via a sequencer
+  daemon), SAFE (total order + all-daemons-hold-a-copy before
+  delivery), FIFO (per-sender order), CAUSAL (vector clocks), and
+  UNRELIABLE (raw frames) — Spread's service grades that the paper
+  relies on (Section 3.1);
+- **virtual synchrony**: on a view change, survivors exchange recent
+  stamp histories and reconcile, so every survivor delivers the same
+  set of AGREED messages before installing the new view.  This is the
+  property that makes the paper's style-switch protocol (Fig. 5)
+  tolerant to the crash of any replica: "fault notifications are
+  ordered consistently with respect to the switch and the other
+  messages".
+
+The sequencer and view-change coordinator are both the lowest-named
+daemon in the current view, so they move deterministically when a
+daemon dies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GroupCommunicationError
+from repro.gcs.failure_detector import (
+    AdaptiveDetector,
+    FixedTimeoutDetector,
+)
+from repro.gcs.links import ReliableLink
+from repro.gcs.messages import (
+    CausalData,
+    SafeAck,
+    SafeRelease,
+    DaemonView,
+    Direct,
+    FifoData,
+    FlushAck,
+    FlushRequest,
+    Forward,
+    Grade,
+    GroupView,
+    Heartbeat,
+    JoinRequest,
+    LeaveRequest,
+    LinkAck,
+    LinkData,
+    MemberId,
+    RawData,
+    Stamped,
+    StampKind,
+    ViewInstall,
+    estimate_control_bytes,
+)
+from repro.gcs.vector_clock import VectorClock
+from repro.net.frame import Endpoint, Frame
+from repro.net.network import Network
+from repro.sim.actor import Actor
+from repro.sim.config import GcsCalibration
+from repro.sim.host import Process
+
+#: Well-known daemon port (Spread's default).
+GCS_PORT = 4803
+
+#: How many recent stamps per group are carried in a FlushAck; must
+#: exceed the largest possible divergence window between survivors
+#: (bounded by retransmit timeout << failure timeout).
+FLUSH_HISTORY_WINDOW = 64
+
+#: A flushing daemon waits this long for the install before suspecting
+#: the flush coordinator itself.
+FLUSH_TIMEOUT_US = 500_000.0
+
+
+class _GroupState:
+    """Per-group bookkeeping at one daemon (identical everywhere)."""
+
+    __slots__ = ("members", "view_id", "last_stamp", "history",
+                 "recent_msg_ids", "causal_clock")
+
+    def __init__(self) -> None:
+        self.members: List[MemberId] = []
+        self.view_id = 0
+        self.last_stamp = 0
+        self.history: "OrderedDict[int, Stamped]" = OrderedDict()
+        self.recent_msg_ids: Set[str] = set()
+        self.causal_clock = VectorClock()
+
+
+class GcsDaemon(Actor):
+    """The per-host group-communication daemon."""
+
+    def __init__(self, process: Process, network: Network,
+                 peers: Sequence[str],
+                 calibration: Optional[GcsCalibration] = None):
+        super().__init__(process, name=f"gcsd@{process.host.name}")
+        self.network = network
+        self.cal = calibration or GcsCalibration()
+        self.host = process.host
+        if self.host.name not in peers:
+            raise GroupCommunicationError(
+                f"daemon host {self.host.name} missing from peer list")
+        self.endpoint = Endpoint(self.host.name, GCS_PORT)
+        self.view = DaemonView(view_id=0, members=tuple(sorted(peers)))
+
+        # Transport.
+        self._links: Dict[str, ReliableLink] = {}
+        self.host.bind(GCS_PORT, self._on_frame)
+
+        # Failure detection.
+        self._last_heard: Dict[str, float] = {
+            p: self.sim.now for p in peers if p != self.host.name}
+        if self.cal.adaptive_failure_detection:
+            self._detector = AdaptiveDetector(
+                floor_us=self.cal.failure_timeout_us)
+        else:
+            self._detector = FixedTimeoutDetector(
+                self.cal.failure_timeout_us)
+        for peer in self._last_heard:
+            self._detector.heard_from(peer, self.sim.now)
+        self._suspects: Set[str] = set()
+
+        # Group state (replicated identically at all daemons).
+        self._groups: Dict[str, _GroupState] = {}
+
+        # Local clients and watchers.
+        self._clients: Dict[MemberId, "ClientPort"] = {}
+        self._watchers: Dict[str, Set[MemberId]] = {}
+        self._local_joins: Dict[MemberId, Set[str]] = {}
+
+        # Sequencer state (used only while self is the sequencer).
+        self._next_seq: Dict[str, int] = {}
+
+        # AGREED messages forwarded but not yet seen back as stamps,
+        # and membership requests awaiting their stamps; both are
+        # re-routed to the new sequencer after a view change.
+        self._pending_forwards: "OrderedDict[str, Forward]" = OrderedDict()
+        self._pending_membership: "OrderedDict[str, Any]" = OrderedDict()
+        self._forward_ids = itertools.count(1)
+
+        # FIFO-grade receive ordering is given by the links themselves;
+        # CAUSAL needs a holdback queue per group.
+        self._causal_holdback: Dict[str, List[CausalData]] = {}
+
+        # SAFE grade: stamps held until the sequencer confirms every
+        # member daemon has a copy; the sequencer tracks outstanding
+        # acknowledgements per (group, seq).
+        self._safe_held: Dict[Tuple[str, int], Stamped] = {}
+        self._safe_awaiting: Dict[Tuple[str, int], Set[str]] = {}
+
+        # Flush / view-change state.
+        self._suspended = False
+        self._outbox: List[Callable[[], None]] = []
+        self._flush_epoch = 0          # highest flush epoch seen
+        self._flush_acks: Dict[str, FlushAck] = {}
+        self._flush_proposal: Optional[Tuple[str, ...]] = None
+
+        self.set_periodic_timer("heartbeat", self.cal.heartbeat_interval_us,
+                                self._send_heartbeats)
+        self.set_periodic_timer("failcheck", self.cal.heartbeat_interval_us,
+                                self._check_failures)
+
+    # ==================================================================
+    # Public API used by GcsClient
+    # ==================================================================
+    def connect(self, port: "ClientPort") -> None:
+        """Attach a local client process to this daemon."""
+        if not self.alive:
+            raise GroupCommunicationError(
+                f"daemon on {self.host.name} is down")
+        if port.member in self._clients:
+            raise GroupCommunicationError(
+                f"{port.member} already connected")
+        self._clients[port.member] = port
+        self._local_joins[port.member] = set()
+
+    def disconnect(self, member: MemberId) -> None:
+        """Detach a client: leaves all its groups (fast local failure
+        detection, as when Spread notices a dead local connection)."""
+        port = self._clients.pop(member, None)
+        if port is None:
+            return
+        joined = self._local_joins.pop(member, set())
+        for groups in self._watchers.values():
+            groups.discard(member)
+        if not self.alive:
+            # Host died with the client; remote daemons will detect it.
+            return
+        for group in sorted(joined):
+            self._submit_leave(group, member)
+
+    def client_join(self, group: str, member: MemberId) -> None:
+        """Submit a join for a locally connected member."""
+        self._require_client(member)
+        msg_id = self._new_msg_id()
+        request = JoinRequest(group=group, member=member, msg_id=msg_id)
+        self._pending_membership[msg_id] = request
+        self._enqueue_or_run(lambda: self._route_to_sequencer(request))
+
+    def client_leave(self, group: str, member: MemberId) -> None:
+        """Submit a voluntary leave for a local member."""
+        self._require_client(member)
+        self._submit_leave(group, member)
+
+    def client_watch(self, group: str, member: MemberId) -> None:
+        """Register a local watcher: receives group views but no data
+        and is not listed in the membership (open-group semantics)."""
+        self._require_client(member)
+        self._watchers.setdefault(group, set()).add(member)
+        state = self._groups.get(group)
+        if state is not None:
+            view = GroupView(group, state.view_id, tuple(state.members))
+            self._deliver_view_to(member, view, joined=[], left=[],
+                                  crashed=False)
+
+    def client_multicast(self, group: str, member: MemberId, payload: Any,
+                         payload_bytes: int, grade: Grade) -> None:
+        """Send a group multicast with the given service grade."""
+        self._require_client(member)
+        if grade is Grade.AGREED or grade is Grade.SAFE:
+            self._enqueue_or_run(
+                lambda: self._forward_agreed(group, member, payload,
+                                             payload_bytes,
+                                             safe=grade is Grade.SAFE))
+        elif grade is Grade.FIFO:
+            self._enqueue_or_run(
+                lambda: self._multicast_fifo(group, member, payload,
+                                             payload_bytes))
+        elif grade is Grade.CAUSAL:
+            self._enqueue_or_run(
+                lambda: self._multicast_causal(group, member, payload,
+                                               payload_bytes))
+        elif grade is Grade.UNRELIABLE:
+            self._multicast_raw(group, member, payload, payload_bytes)
+        else:  # pragma: no cover - exhaustive over Grade
+            raise GroupCommunicationError(f"unknown grade: {grade}")
+
+    def client_send_direct(self, src: MemberId, dst: MemberId, payload: Any,
+                           payload_bytes: int) -> None:
+        """Send a reliable point-to-point message."""
+        self._require_client(src)
+        message = Direct(dst=dst, src=src, payload=payload,
+                         payload_bytes=payload_bytes)
+        self._enqueue_or_run(lambda: self._route_direct(message))
+
+    def group_view(self, group: str) -> Optional[GroupView]:
+        """Current view of ``group`` as known at this daemon."""
+        state = self._groups.get(group)
+        if state is None:
+            return None
+        return GroupView(group, state.view_id, tuple(state.members))
+
+    @property
+    def sequencer(self) -> str:
+        """The host running the sequencer/coordinator in the current view."""
+        return self.view.coordinator()
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.sequencer == self.host.name
+
+    def _require_client(self, member: MemberId) -> None:
+        if member not in self._clients:
+            raise GroupCommunicationError(f"{member} is not connected")
+
+    def _new_msg_id(self) -> str:
+        return f"{self.host.name}:{next(self._forward_ids)}"
+
+    def _submit_leave(self, group: str, member: MemberId) -> None:
+        msg_id = self._new_msg_id()
+        request = LeaveRequest(group=group, member=member, msg_id=msg_id)
+        self._pending_membership[msg_id] = request
+        self._enqueue_or_run(lambda: self._route_to_sequencer(request))
+
+    # ==================================================================
+    # Transport plumbing
+    # ==================================================================
+    def _link(self, peer: str) -> ReliableLink:
+        link = self._links.get(peer)
+        if link is None or link.closed:
+            link = ReliableLink(
+                self.sim, self.network, self.cal,
+                local=self.endpoint, peer=Endpoint(peer, GCS_PORT),
+                deliver=lambda inner, nbytes, p=peer:
+                    self._on_reliable(p, inner, nbytes))
+            self._links[peer] = link
+        return link
+
+    def _on_frame(self, frame: Frame) -> None:
+        if not self.alive:
+            return
+        peer = frame.src.host
+        self._last_heard[peer] = self.sim.now
+        self._detector.heard_from(peer, self.sim.now)
+        payload = frame.payload
+        if isinstance(payload, Heartbeat):
+            return  # liveness already recorded above
+        if isinstance(payload, LinkData):
+            self._link(peer).on_link_data(payload.link_seq, payload.inner,
+                                          payload.inner_bytes)
+        elif isinstance(payload, LinkAck):
+            self._link(peer).on_ack(payload.cum_seq)
+        elif isinstance(payload, RawData):
+            # Best-effort data: no CPU-intensive ordering, deliver now.
+            self._cpu(lambda: self._deliver_raw(payload))
+        else:  # pragma: no cover - unknown frames dropped like real UDP
+            self.trace("gcs.drop", f"unknown frame kind {type(payload)}")
+
+    def _on_reliable(self, peer: str, inner: Any, nbytes: int) -> None:
+        """In-order reliable delivery from ``peer``: charge daemon CPU
+        then dispatch on the message type."""
+        self._cpu(lambda: self._dispatch(peer, inner))
+
+    def _cpu(self, continuation: Callable[[], None]) -> None:
+        demand = self.cal.daemon_processing_us
+        self.host.cpu.execute(demand, self._guard(continuation))
+
+    def _guard(self, continuation: Callable[[], None]) -> Callable[[], None]:
+        def run() -> None:
+            if self.alive:
+                continuation()
+        return run
+
+    def _dispatch(self, peer: str, inner: Any) -> None:
+        if isinstance(inner, Forward):
+            self._sequencer_stamp_data(inner)
+        elif isinstance(inner, JoinRequest):
+            self._sequencer_stamp_membership(StampKind.JOIN, inner.group,
+                                             inner.member, inner.msg_id)
+        elif isinstance(inner, LeaveRequest):
+            self._sequencer_stamp_membership(StampKind.LEAVE, inner.group,
+                                             inner.member, inner.msg_id)
+        elif isinstance(inner, Stamped):
+            self._apply_stamp(inner)
+        elif isinstance(inner, SafeAck):
+            self._on_safe_ack(inner)
+        elif isinstance(inner, SafeRelease):
+            self._on_safe_release(inner)
+        elif isinstance(inner, Direct):
+            self._deliver_direct(inner)
+        elif isinstance(inner, FifoData):
+            self._deliver_fifo(inner)
+        elif isinstance(inner, CausalData):
+            self._receive_causal(inner)
+        elif isinstance(inner, FlushRequest):
+            self._on_flush_request(inner)
+        elif isinstance(inner, FlushAck):
+            self._on_flush_ack(inner)
+        elif isinstance(inner, ViewInstall):
+            self._on_view_install(inner)
+        else:  # pragma: no cover
+            self.trace("gcs.drop", f"unknown reliable message {type(inner)}")
+
+    def _enqueue_or_run(self, op: Callable[[], None]) -> None:
+        """Run an application-level send now, or buffer it while a
+        view change is in progress (sends are suspended during flush)."""
+        if self._suspended:
+            self._outbox.append(op)
+        else:
+            op()
+
+    # ==================================================================
+    # AGREED grade: sequencer-based total order
+    # ==================================================================
+    def _forward_agreed(self, group: str, origin: MemberId, payload: Any,
+                        payload_bytes: int, safe: bool = False) -> None:
+        forward = Forward(group=group, origin=origin, payload=payload,
+                          payload_bytes=payload_bytes,
+                          msg_id=self._new_msg_id(), safe=safe)
+        self._pending_forwards[forward.msg_id] = forward
+        self._route_to_sequencer(forward)
+
+    def _route_to_sequencer(self, message: Any) -> None:
+        nbytes = getattr(message, "payload_bytes", None)
+        if nbytes is None:
+            nbytes = estimate_control_bytes(message)
+        if self.is_sequencer:
+            self._cpu(lambda: self._dispatch(self.host.name, message))
+        else:
+            self._link(self.sequencer).send(message, nbytes)
+
+    def _sequencer_stamp_data(self, forward: Forward) -> None:
+        if not self.is_sequencer:
+            # Stale routing (sequencer just changed): re-route.
+            self._route_to_sequencer(forward)
+            return
+        state = self._group(forward.group)
+        if forward.msg_id in state.recent_msg_ids:
+            return  # duplicate re-forward after a view change
+        seq = self._alloc_seq(forward.group)
+        stamp = Stamped(group=forward.group, seq=seq, kind=StampKind.DATA,
+                        origin=forward.origin, payload=forward.payload,
+                        payload_bytes=forward.payload_bytes,
+                        msg_id=forward.msg_id, safe=forward.safe)
+        if forward.safe:
+            # Track which member daemons still owe an acknowledgement.
+            targets = {m.host for m in self._group(forward.group).members}
+            self._safe_awaiting[(forward.group, seq)] = set(targets)
+        self._disseminate(stamp)
+
+    def _sequencer_stamp_membership(self, kind: StampKind, group: str,
+                                    member: MemberId, msg_id: str) -> None:
+        if not self.is_sequencer:
+            request = (JoinRequest if kind is StampKind.JOIN
+                       else LeaveRequest)(group=group, member=member,
+                                          msg_id=msg_id)
+            self._route_to_sequencer(request)
+            return
+        state = self._group(group)
+        if msg_id in state.recent_msg_ids:
+            return
+        # Drop no-op membership changes (duplicate join, unknown leave).
+        if kind is StampKind.JOIN and member in state.members:
+            return
+        if kind is StampKind.LEAVE and member not in state.members:
+            return
+        seq = self._alloc_seq(group)
+        stamp = Stamped(group=group, seq=seq, kind=kind, origin=member,
+                        msg_id=msg_id)
+        self._disseminate(stamp)
+
+    def _alloc_seq(self, group: str) -> int:
+        state = self._group(group)
+        nxt = self._next_seq.get(group, state.last_stamp + 1)
+        self._next_seq[group] = nxt + 1
+        return nxt
+
+    def _disseminate(self, stamp: Stamped) -> None:
+        """Sequencer-side: charge ordering cost, apply locally, and
+        push the stamp over reliable links to the daemons that need it."""
+        self.host.cpu.execute(self.cal.ordering_us, self._guard(lambda: None))
+        if stamp.kind is StampKind.DATA:
+            state = self._group(stamp.group)
+            targets = {m.host for m in state.members}
+        else:
+            # Membership stamps refresh routing state everywhere.
+            targets = set(self.view.members)
+        nbytes = stamp.payload_bytes + 24
+        for target in sorted(targets):
+            if target == self.host.name:
+                continue
+            if target in self.view.members:
+                self._link(target).send(stamp, nbytes)
+        self._apply_stamp(stamp)
+
+    def _apply_stamp(self, stamp: Stamped) -> None:
+        """Apply one totally-ordered group event at this daemon."""
+        state = self._group(stamp.group)
+        if stamp.seq <= state.last_stamp:
+            return  # duplicate (e.g. flush recovery overlap)
+        state.last_stamp = stamp.seq
+        state.history[stamp.seq] = stamp
+        while len(state.history) > self.cal.history_limit:
+            state.history.popitem(last=False)
+        if stamp.msg_id:
+            state.recent_msg_ids.add(stamp.msg_id)
+            if len(state.recent_msg_ids) > 4 * self.cal.history_limit:
+                state.recent_msg_ids = {
+                    s.msg_id for s in state.history.values() if s.msg_id}
+        self._pending_forwards.pop(stamp.msg_id, None)
+        self._pending_membership.pop(stamp.msg_id, None)
+
+        if stamp.kind is StampKind.DATA:
+            if stamp.safe:
+                # Hold delivery until the sequencer's release; tell the
+                # sequencer we hold a copy.
+                self._safe_held[(stamp.group, stamp.seq)] = stamp
+                ack = SafeAck(group=stamp.group, seq=stamp.seq,
+                              sender=self.host.name)
+                if self.is_sequencer:
+                    self._on_safe_ack(ack)
+                else:
+                    self._link(self.sequencer).send(
+                        ack, estimate_control_bytes(ack))
+                return
+            for member in list(state.members):
+                if member.host == self.host.name:
+                    self._deliver_data_to(member, stamp.group, stamp.origin,
+                                          stamp.payload, stamp.payload_bytes)
+        elif stamp.kind is StampKind.JOIN:
+            self._apply_membership(state, stamp.group, joined=[stamp.origin],
+                                   left=[], crashed=False)
+        elif stamp.kind is StampKind.LEAVE:
+            self._apply_membership(state, stamp.group, joined=[],
+                                   left=[stamp.origin], crashed=False)
+
+    def _apply_membership(self, state: _GroupState, group: str,
+                          joined: List[MemberId], left: List[MemberId],
+                          crashed: bool) -> None:
+        changed = False
+        for member in joined:
+            if member not in state.members:
+                state.members.append(member)
+                changed = True
+                if member.host == self.host.name and member in self._clients:
+                    self._local_joins.setdefault(member, set()).add(group)
+        for member in left:
+            if member in state.members:
+                state.members.remove(member)
+                changed = True
+                if member.host == self.host.name:
+                    joins = self._local_joins.get(member)
+                    if joins is not None:
+                        joins.discard(group)
+        if not changed:
+            return
+        # Members stay in join order (identical at every daemon because
+        # joins are totally ordered): members[0] is the longest-standing
+        # member, which the replication layer elects as primary.
+        state.view_id += 1
+        view = GroupView(group, state.view_id, tuple(state.members))
+        self.trace("gcs.view",
+                   f"group {group} view {state.view_id}: "
+                   f"{[str(m) for m in state.members]}",
+                   group=group, view_id=state.view_id,
+                   joined=[str(m) for m in joined],
+                   left=[str(m) for m in left], crashed=crashed)
+        for member in list(state.members):
+            if member.host == self.host.name:
+                self._deliver_view_to(member, view, joined, left, crashed)
+        # A local member that just left still gets the view that
+        # excludes it (so its listener learns the leave completed).
+        for member in left:
+            if member.host == self.host.name:
+                self._deliver_view_to(member, view, joined, left, crashed)
+        for watcher in sorted(self._watchers.get(group, ())):
+            self._deliver_view_to(watcher, view, joined, left, crashed)
+
+    # ==================================================================
+    # SAFE grade: acknowledgement collection and release
+    # ==================================================================
+    def _on_safe_ack(self, ack: SafeAck) -> None:
+        key = (ack.group, ack.seq)
+        awaiting = self._safe_awaiting.get(key)
+        if awaiting is None:
+            return
+        awaiting.discard(ack.sender)
+        # Daemons that left the view no longer owe acknowledgements.
+        awaiting &= set(self.view.members)
+        if awaiting:
+            return
+        del self._safe_awaiting[key]
+        release = SafeRelease(group=ack.group, seq=ack.seq)
+        targets = {m.host for m in self._group(ack.group).members}
+        for target in sorted(targets):
+            if target == self.host.name:
+                self._on_safe_release(release)
+            elif target in self.view.members:
+                self._link(target).send(release,
+                                        estimate_control_bytes(release))
+
+    def _on_safe_release(self, release: SafeRelease) -> None:
+        stamp = self._safe_held.pop((release.group, release.seq), None)
+        if stamp is None:
+            return
+        state = self._group(release.group)
+        for member in list(state.members):
+            if member.host == self.host.name:
+                self._deliver_data_to(member, stamp.group, stamp.origin,
+                                      stamp.payload, stamp.payload_bytes)
+
+    def _release_all_held_safe(self) -> None:
+        """View change: the flush reconciliation guarantees every
+        survivor holds the same SAFE stamps, so the safety condition
+        is met for the surviving membership — deliver them all."""
+        held = sorted(self._safe_held)
+        for key in held:
+            self._on_safe_release(SafeRelease(group=key[0], seq=key[1]))
+        self._safe_awaiting.clear()
+
+    # ==================================================================
+    # FIFO grade
+    # ==================================================================
+    def _multicast_fifo(self, group: str, origin: MemberId, payload: Any,
+                        payload_bytes: int) -> None:
+        message = FifoData(group=group, origin=origin, payload=payload,
+                           payload_bytes=payload_bytes)
+        self._fanout_reliable(group, message, payload_bytes,
+                              local=lambda: self._deliver_fifo(message))
+
+    def _deliver_fifo(self, message: FifoData) -> None:
+        state = self._group(message.group)
+        for member in list(state.members):
+            if member.host == self.host.name:
+                self._deliver_data_to(member, message.group, message.origin,
+                                      message.payload, message.payload_bytes)
+
+    # ==================================================================
+    # CAUSAL grade
+    # ==================================================================
+    def _multicast_causal(self, group: str, origin: MemberId, payload: Any,
+                          payload_bytes: int) -> None:
+        state = self._group(group)
+        state.causal_clock.tick(self.host.name)
+        message = CausalData(group=group, origin=origin,
+                             clock=state.causal_clock.snapshot(),
+                             payload=payload, payload_bytes=payload_bytes)
+        self._fanout_reliable(group, message, payload_bytes + 32,
+                              local=lambda: self._deliver_causal_now(message))
+
+    def _receive_causal(self, message: CausalData) -> None:
+        self._causal_holdback.setdefault(message.group, []).append(message)
+        self._drain_causal(message.group)
+
+    def _drain_causal(self, group: str) -> None:
+        state = self._group(group)
+        holdback = self._causal_holdback.get(group, [])
+        progressed = True
+        while progressed:
+            progressed = False
+            for message in list(holdback):
+                sender_host = message.origin.host
+                if state.causal_clock.can_deliver(message.clock, sender_host):
+                    holdback.remove(message)
+                    state.causal_clock.deliver(message.clock, sender_host)
+                    self._deliver_causal_now(message)
+                    progressed = True
+
+    def _deliver_causal_now(self, message: CausalData) -> None:
+        state = self._group(message.group)
+        for member in list(state.members):
+            if member.host == self.host.name:
+                self._deliver_data_to(member, message.group, message.origin,
+                                      message.payload, message.payload_bytes)
+
+    # ==================================================================
+    # UNRELIABLE grade
+    # ==================================================================
+    def _multicast_raw(self, group: str, origin: MemberId, payload: Any,
+                       payload_bytes: int) -> None:
+        message = RawData(group=group, origin=origin, payload=payload,
+                          payload_bytes=payload_bytes)
+        state = self._group(group)
+        targets = {m.host for m in state.members}
+        for target in sorted(targets):
+            if target == self.host.name:
+                self._deliver_raw(message)
+            else:
+                self.network.send(self.endpoint, Endpoint(target, GCS_PORT),
+                                  message,
+                                  payload_bytes + self.cal.header_bytes,
+                                  kind="gcs.raw")
+
+    def _deliver_raw(self, message: RawData) -> None:
+        state = self._group(message.group)
+        for member in list(state.members):
+            if member.host == self.host.name:
+                self._deliver_data_to(member, message.group, message.origin,
+                                      message.payload, message.payload_bytes)
+
+    def _fanout_reliable(self, group: str, message: Any, nbytes: int,
+                         local: Callable[[], None]) -> None:
+        state = self._group(group)
+        targets = {m.host for m in state.members}
+        for target in sorted(targets):
+            if target == self.host.name:
+                self._cpu(local)
+            elif target in self.view.members:
+                self._link(target).send(message, nbytes)
+
+    # ==================================================================
+    # Direct (point-to-point) messages
+    # ==================================================================
+    def _route_direct(self, message: Direct) -> None:
+        if message.dst.host == self.host.name:
+            self._cpu(lambda: self._deliver_direct(message))
+        elif message.dst.host in self.view.members:
+            self._link(message.dst.host).send(message, message.payload_bytes)
+        else:
+            self.trace("gcs.drop",
+                       f"direct to {message.dst} on dead host dropped")
+
+    def _deliver_direct(self, message: Direct) -> None:
+        port = self._clients.get(message.dst)
+        if port is None:
+            return
+        self.sim.schedule(self.cal.local_ipc_us, self._guard(
+            lambda: port.deliver_direct(message.src, message.payload,
+                                        message.payload_bytes)))
+
+    # ==================================================================
+    # Delivery to local clients
+    # ==================================================================
+    def _deliver_data_to(self, member: MemberId, group: str,
+                         sender: MemberId, payload: Any, nbytes: int) -> None:
+        port = self._clients.get(member)
+        if port is None:
+            return
+        self.sim.schedule(self.cal.local_ipc_us, self._guard(
+            lambda: port.deliver_message(group, sender, payload, nbytes)))
+
+    def _deliver_view_to(self, member: MemberId, view: GroupView,
+                         joined: List[MemberId], left: List[MemberId],
+                         crashed: bool) -> None:
+        port = self._clients.get(member)
+        if port is None:
+            return
+        self.sim.schedule(self.cal.local_ipc_us, self._guard(
+            lambda: port.deliver_view(view, list(joined), list(left),
+                                      crashed)))
+
+    # ==================================================================
+    # Failure detection
+    # ==================================================================
+    def _send_heartbeats(self) -> None:
+        beat = Heartbeat(sender=self.host.name, view_id=self.view.view_id)
+        nbytes = estimate_control_bytes(beat)
+        for peer in self.view.members:
+            if peer != self.host.name:
+                self.network.send(self.endpoint, Endpoint(peer, GCS_PORT),
+                                  beat, nbytes, kind="gcs.heartbeat")
+
+    def _check_failures(self) -> None:
+        candidates = [peer for peer in self.view.members
+                      if peer != self.host.name
+                      and peer not in self._suspects]
+        newly = self._detector.suspects(candidates, self.sim.now)
+        if not newly:
+            return
+        self._suspects |= newly
+        self.trace("gcs.suspect",
+                   f"suspecting {sorted(newly)}", suspects=sorted(self._suspects))
+        self._maybe_start_flush()
+
+    def _live_members(self) -> Tuple[str, ...]:
+        return tuple(m for m in self.view.members if m not in self._suspects)
+
+    def _maybe_start_flush(self) -> None:
+        live = self._live_members()
+        if not live or live == self.view.members:
+            return
+        if min(live) != self.host.name:
+            return  # not the coordinator; wait (or take over on timeout)
+        self._start_flush(live)
+
+    # ==================================================================
+    # View change: flush protocol
+    # ==================================================================
+    def _start_flush(self, proposal: Tuple[str, ...]) -> None:
+        self._flush_epoch = max(self.view.view_id, self._flush_epoch) + 1
+        self._flush_proposal = proposal
+        self._flush_acks = {}
+        self._suspended = True
+        self.trace("gcs.flush",
+                   f"flush epoch {self._flush_epoch} proposal {list(proposal)}",
+                   epoch=self._flush_epoch, proposal=list(proposal))
+        request = FlushRequest(epoch=self._flush_epoch,
+                               proposer=self.host.name, members=proposal)
+        for peer in proposal:
+            if peer == self.host.name:
+                self._on_flush_request(request)
+            else:
+                self._link(peer).send(request,
+                                      estimate_control_bytes(request))
+        self.set_timer("flush", FLUSH_TIMEOUT_US, self._on_flush_timeout)
+
+    def _on_flush_request(self, request: FlushRequest) -> None:
+        if request.epoch <= self.view.view_id or request.epoch < self._flush_epoch:
+            return  # stale proposal
+        self._flush_epoch = request.epoch
+        self._suspended = True
+        histories: Dict[str, Dict[int, Stamped]] = {}
+        next_seqs: Dict[str, int] = {}
+        for group, state in self._groups.items():
+            recent = list(state.history.items())[-FLUSH_HISTORY_WINDOW:]
+            histories[group] = dict(recent)
+            next_seqs[group] = state.last_stamp + 1
+        ack = FlushAck(epoch=request.epoch, sender=self.host.name,
+                       histories=histories, next_seqs=next_seqs)
+        if request.proposer == self.host.name:
+            self._on_flush_ack(ack)
+        else:
+            self._link(request.proposer).send(ack,
+                                              estimate_control_bytes(ack))
+            # If the proposer dies before installing, take over.
+            self.set_timer("flush", FLUSH_TIMEOUT_US, self._on_flush_timeout)
+
+    def _on_flush_ack(self, ack: FlushAck) -> None:
+        if ack.epoch != self._flush_epoch or self._flush_proposal is None:
+            return
+        self._flush_acks[ack.sender] = ack
+        waiting = set(self._flush_proposal) - set(self._flush_acks)
+        if waiting:
+            return
+        # All survivors reported: compute the union cut per group.
+        recovery: Dict[str, List[Stamped]] = {}
+        next_seqs: Dict[str, int] = {}
+        union: Dict[str, Dict[int, Stamped]] = {}
+        for ackmsg in self._flush_acks.values():
+            for group, history in ackmsg.histories.items():
+                union.setdefault(group, {}).update(history)
+            for group, nxt in ackmsg.next_seqs.items():
+                next_seqs[group] = max(next_seqs.get(group, 1), nxt)
+        for group, stamps in union.items():
+            recovery[group] = [stamps[s] for s in sorted(stamps)]
+            top = max(stamps) + 1 if stamps else 1
+            next_seqs[group] = max(next_seqs.get(group, 1), top)
+        new_view = DaemonView(view_id=self._flush_epoch,
+                              members=self._flush_proposal)
+        install = ViewInstall(epoch=self._flush_epoch, view=new_view,
+                              recovery=recovery, next_seqs=next_seqs)
+        for peer in self._flush_proposal:
+            if peer == self.host.name:
+                self._on_view_install(install)
+            else:
+                self._link(peer).send(install,
+                                      estimate_control_bytes(install))
+
+    def _on_flush_timeout(self) -> None:
+        """The flush stalled (coordinator or a member died mid-flush).
+
+        Re-run failure detection with a fresh suspicion of whoever we
+        were waiting for, then restart the flush if we now coordinate.
+        """
+        if not self._suspended:
+            return
+        live = self._live_members()
+        if self._flush_proposal is not None and min(live) == self.host.name:
+            # Suspect proposed members that never acked.
+            silent = set(self._flush_proposal) - set(self._flush_acks)
+            silent.discard(self.host.name)
+            stalled = {
+                p for p in silent
+                if self.sim.now - self._last_heard.get(p, 0.0)
+                > self.cal.failure_timeout_us}
+            self._suspects |= stalled
+        else:
+            # We were a follower; the proposer must be gone.
+            coordinator = min(live)
+            if coordinator != self.host.name:
+                self.set_timer("flush", FLUSH_TIMEOUT_US,
+                               self._on_flush_timeout)
+                return
+        proposal = self._live_members()
+        if proposal and min(proposal) == self.host.name:
+            self._start_flush(proposal)
+
+    def _on_view_install(self, install: ViewInstall) -> None:
+        if install.epoch < self._flush_epoch or install.epoch <= self.view.view_id:
+            return
+        self.cancel_timer("flush")
+        # 1. Apply recovery stamps so all survivors share one cut.
+        for group in sorted(install.recovery):
+            for stamp in install.recovery[group]:
+                self._apply_stamp(stamp)
+        # 2. Install the daemon view; close links to the departed.
+        old_members = set(self.view.members)
+        self.view = install.view
+        dead = old_members - set(install.view.members)
+        for peer in dead:
+            link = self._links.pop(peer, None)
+            if link is not None:
+                link.close()
+            self._suspects.discard(peer)
+            self._last_heard.pop(peer, None)
+            self._detector.forget(peer)
+        self._suspects &= set(install.view.members)
+        self._next_seq = dict(install.next_seqs)
+        self.trace("gcs.install",
+                   f"installed daemon view {self.view.view_id} "
+                   f"members {list(self.view.members)}",
+                   view_id=self.view.view_id,
+                   members=list(self.view.members), dead=sorted(dead))
+        # 3. Remove group members stranded on dead daemons; every
+        #    survivor computes the identical result at the same cut.
+        for group in sorted(self._groups):
+            state = self._groups[group]
+            gone = [m for m in state.members if m.host in dead]
+            if gone:
+                self._apply_membership(state, group, joined=[], left=gone,
+                                       crashed=True)
+        # 3b. Release SAFE messages held across the change: every
+        #     survivor now provably holds them (flush reconciliation).
+        self._release_all_held_safe()
+        # 4. Resume: re-route membership requests and AGREED messages
+        #    that never got stamped (their sequencer may have died),
+        #    then drain sends buffered during the flush.
+        self._suspended = False
+        self._flush_proposal = None
+        self._flush_acks = {}
+        for request in list(self._pending_membership.values()):
+            self._route_to_sequencer(request)
+        pending = list(self._pending_forwards.values())
+        for forward in pending:
+            self._route_to_sequencer(forward)
+        outbox, self._outbox = self._outbox, []
+        for op in outbox:
+            op()
+
+    # ==================================================================
+    # Internals
+    # ==================================================================
+    def _group(self, group: str) -> _GroupState:
+        state = self._groups.get(group)
+        if state is None:
+            state = _GroupState()
+            self._groups[group] = state
+        return state
+
+    def on_stop(self) -> None:
+        """Close links and release the daemon port."""
+        for link in self._links.values():
+            link.close()
+        self._links.clear()
+        self.host.unbind(GCS_PORT)
+
+
+class ClientPort:
+    """Daemon-side handle for one connected client process.
+
+    :class:`repro.gcs.client.GcsClient` implements this interface; the
+    daemon never calls application code directly, only these three
+    delivery methods (already delayed by the local IPC cost).
+    """
+
+    member: MemberId
+
+    def deliver_message(self, group: str, sender: MemberId, payload: Any,
+                        nbytes: int) -> None:
+        """Deliver one group multicast to the client."""
+        raise NotImplementedError
+
+    def deliver_view(self, view: GroupView, joined: List[MemberId],
+                     left: List[MemberId], crashed: bool) -> None:
+        """Deliver a group membership change to the client."""
+        raise NotImplementedError
+
+    def deliver_direct(self, sender: MemberId, payload: Any,
+                       nbytes: int) -> None:
+        """Deliver one point-to-point message to the client."""
+        raise NotImplementedError

@@ -1,0 +1,313 @@
+"""Wire-level message types of the group-communication system.
+
+The GCS plays the role of the Spread toolkit in the paper: daemons run
+one per host, application processes connect to their local daemon, and
+daemons exchange the control/data messages defined here over the
+simulated LAN.
+
+Naming follows Spread's service grades: ``UNRELIABLE`` (best effort),
+``FIFO`` (by sender), ``CAUSAL``, ``AGREED`` (total order) and ``SAFE``
+(total order with all-daemons-hold-a-copy delivery).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Grade(enum.Enum):
+    """Message-delivery guarantee, per Spread's service grades.
+
+    SAFE is Spread's strongest grade: a message is delivered only
+    once every member's daemon holds a copy, so a delivered message
+    can never be "known" by only a subset that then dies.
+    """
+
+    UNRELIABLE = "unreliable"
+    FIFO = "fifo"
+    CAUSAL = "causal"
+    AGREED = "agreed"
+    SAFE = "safe"
+
+    @property
+    def reliable(self) -> bool:
+        return self is not Grade.UNRELIABLE
+
+    @property
+    def totally_ordered(self) -> bool:
+        return self in (Grade.AGREED, Grade.SAFE)
+
+
+@dataclass(frozen=True, order=True)
+class MemberId:
+    """Identity of a connected process: (host, pid, name).
+
+    Ordering is total and identical at every daemon, which the
+    replication layer relies on for deterministic primary election.
+    """
+
+    host: str
+    pid: int
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}#{self.pid}@{self.host}"
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """Membership of one group as installed at some point in the
+    totally-ordered message stream.
+
+    ``members`` is in **join order** (identical at every daemon), so
+    ``members[0]`` is the longest-standing member — the deterministic
+    leader/primary choice the replication layer uses.
+    """
+
+    group: str
+    view_id: int
+    members: Tuple[MemberId, ...]
+
+    def __contains__(self, member: MemberId) -> bool:
+        return member in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def oldest(self) -> Optional[MemberId]:
+        """The longest-standing member (deterministic leader choice)."""
+        return self.members[0] if self.members else None
+
+
+@dataclass(frozen=True)
+class DaemonView:
+    """Membership of the daemon layer itself (one entry per live host)."""
+
+    view_id: int
+    members: Tuple[str, ...]
+
+    def __contains__(self, host: str) -> bool:
+        return host in self.members
+
+    def coordinator(self) -> str:
+        """Lowest-named live daemon: view coordinator and sequencer."""
+        return min(self.members)
+
+
+# ---------------------------------------------------------------------------
+# Daemon-to-daemon payloads.  All reliable traffic is wrapped in
+# LinkData/LinkAck by the reliable-link layer; heartbeats and
+# best-effort data travel as raw frames.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness beacon between daemons."""
+
+    sender: str
+    view_id: int
+
+
+@dataclass(frozen=True)
+class LinkData:
+    """Reliable-link envelope: per-(src,dst) sequence number."""
+
+    link_seq: int
+    inner: Any
+    inner_bytes: int
+
+
+@dataclass(frozen=True)
+class LinkAck:
+    """Cumulative acknowledgement for a reliable link."""
+
+    cum_seq: int
+
+
+@dataclass(frozen=True)
+class Forward:
+    """Origin daemon asks the sequencer to stamp a totally-ordered
+    message (AGREED, or SAFE when ``safe`` is set)."""
+
+    group: str
+    origin: MemberId
+    payload: Any
+    payload_bytes: int
+    msg_id: str
+    safe: bool = False
+
+
+class StampKind(enum.Enum):
+    """Kind of a totally-ordered group event."""
+    DATA = "data"
+    JOIN = "join"
+    LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class Stamped:
+    """A sequencer-ordered event in a group's total-order stream.
+
+    ``seq`` is contiguous per group.  JOIN/LEAVE stamps are routed to
+    every daemon (they update routing state); DATA stamps go only to
+    daemons hosting members.  SAFE stamps are held back at the
+    receivers until the sequencer confirms every member daemon has a
+    copy (the SafeAck / SafeRelease exchange).
+    """
+
+    group: str
+    seq: int
+    kind: StampKind
+    origin: MemberId
+    payload: Any = None
+    payload_bytes: int = 0
+    msg_id: str = ""
+    safe: bool = False
+
+
+@dataclass(frozen=True)
+class SafeAck:
+    """Member daemon -> sequencer: 'I hold SAFE stamp (group, seq)'."""
+
+    group: str
+    seq: int
+    sender: str
+
+
+@dataclass(frozen=True)
+class SafeRelease:
+    """Sequencer -> member daemons: every member daemon holds the
+    SAFE stamp; deliver it."""
+
+    group: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    group: str
+    member: MemberId
+    msg_id: str
+
+
+@dataclass(frozen=True)
+class LeaveRequest:
+    group: str
+    member: MemberId
+    msg_id: str
+
+
+@dataclass(frozen=True)
+class Direct:
+    """Point-to-point message between connected processes."""
+
+    dst: MemberId
+    src: MemberId
+    payload: Any
+    payload_bytes: int
+
+
+@dataclass(frozen=True)
+class FifoData:
+    """Sender-ordered group data (FIFO grade), multicast directly by
+    the origin daemon over reliable links."""
+
+    group: str
+    origin: MemberId
+    payload: Any
+    payload_bytes: int
+
+
+@dataclass(frozen=True)
+class CausalData:
+    """Causally-ordered group data: vector clock keyed by origin host."""
+
+    group: str
+    origin: MemberId
+    clock: Dict[str, int]
+    payload: Any
+    payload_bytes: int
+
+
+@dataclass(frozen=True)
+class RawData:
+    """Best-effort group data: one unreliable frame per member daemon."""
+
+    group: str
+    origin: MemberId
+    payload: Any
+    payload_bytes: int
+
+
+# ---------------------------------------------------------------------------
+# View-change (flush) protocol payloads.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FlushRequest:
+    """Coordinator proposes a new daemon view; recipients must stop
+    sending application data and report their per-group progress."""
+
+    epoch: int
+    proposer: str
+    members: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FlushAck:
+    """A daemon's reply to FlushRequest.
+
+    ``histories`` maps group -> {seq: Stamped} for recently received
+    stamps, letting the coordinator rebuild the union cut.
+    ``next_seqs`` maps group -> next unassigned sequencer seq as known
+    to this daemon (max stamp seen + 1).
+    """
+
+    epoch: int
+    sender: str
+    histories: Dict[str, Dict[int, Stamped]]
+    next_seqs: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class ViewInstall:
+    """Coordinator finalizes the view change.
+
+    ``recovery`` maps group -> list of Stamped that every surviving
+    daemon must apply (in seq order) before installing the view, so
+    that all survivors deliver the same set of messages in the old
+    view (virtual synchrony).  ``next_seqs`` seeds the new sequencer.
+    """
+
+    epoch: int
+    view: DaemonView
+    recovery: Dict[str, List[Stamped]]
+    next_seqs: Dict[str, int]
+
+
+def estimate_control_bytes(message: Any) -> int:
+    """On-wire size estimate for control messages without a payload
+    size of their own (flush traffic, acks, heartbeats)."""
+    if isinstance(message, (Heartbeat, LinkAck)):
+        return 16
+    if isinstance(message, (SafeAck, SafeRelease)):
+        return 28
+    if isinstance(message, (JoinRequest, LeaveRequest)):
+        return 64
+    if isinstance(message, FlushRequest):
+        return 48 + 16 * len(message.members)
+    if isinstance(message, FlushAck):
+        total = 64
+        for history in message.histories.values():
+            for stamped in history.values():
+                total += 48 + stamped.payload_bytes
+        return total
+    if isinstance(message, ViewInstall):
+        total = 64 + 16 * len(message.view.members)
+        for stamps in message.recovery.values():
+            for stamped in stamps:
+                total += 48 + stamped.payload_bytes
+        return total
+    return 32

@@ -1,0 +1,102 @@
+"""Vector clocks for the CAUSAL delivery grade.
+
+Clocks are keyed by daemon host name: each daemon serializes the sends
+of its local clients, so per-host counters capture the causal order of
+group traffic exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+
+class VectorClock:
+    """A mutable vector clock over string-keyed counters."""
+
+    def __init__(self, counters: Mapping[str, int] = ()):
+        self._counters: Dict[str, int] = dict(counters)
+        for key, value in self._counters.items():
+            if value < 0:
+                raise ValueError(f"negative clock entry {key}={value}")
+
+    def get(self, key: str) -> int:
+        """Counter for ``key`` (0 if absent)."""
+        return self._counters.get(key, 0)
+
+    def tick(self, key: str) -> "VectorClock":
+        """Increment ``key``'s counter in place; returns self."""
+        self._counters[key] = self.get(key) + 1
+        return self
+
+    def merge(self, other: Mapping[str, int]) -> "VectorClock":
+        """Pointwise-max merge in place; returns self."""
+        for key, value in dict(other).items():
+            if value > self.get(key):
+                self._counters[key] = value
+        return self
+
+    def snapshot(self) -> Dict[str, int]:
+        """Immutable-ish copy suitable for stamping onto a message."""
+        return dict(self._counters)
+
+    # ------------------------------------------------------------------
+    # Ordering relations
+    # ------------------------------------------------------------------
+    def dominates(self, other: Mapping[str, int]) -> bool:
+        """self >= other pointwise."""
+        other = dict(other)
+        keys = set(self._counters) | set(other)
+        return all(self.get(k) >= other.get(k, 0) for k in keys)
+
+    def happened_before(self, other: "VectorClock") -> bool:
+        """Strict causal precedence: self < other."""
+        return other.dominates(self._counters) and not self.same_as(
+            other._counters)
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock precedes the other."""
+        return (not self.happened_before(other)
+                and not other.happened_before(self)
+                and not self.same_as(other._counters))
+
+    def same_as(self, other: Mapping[str, int]) -> bool:
+        """Pointwise equality with ``other``."""
+        other = dict(other)
+        keys = set(self._counters) | set(other)
+        return all(self.get(k) == other.get(k, 0) for k in keys)
+
+    # ------------------------------------------------------------------
+    # Causal deliverability
+    # ------------------------------------------------------------------
+    def can_deliver(self, stamp: Mapping[str, int], sender: str) -> bool:
+        """Causal delivery condition at a receiver with clock ``self``:
+        the message is the sender's next (stamp[sender] == local+1) and
+        everything the sender had seen, we have seen too."""
+        stamp = dict(stamp)
+        if stamp.get(sender, 0) != self.get(sender) + 1:
+            return False
+        for key, value in stamp.items():
+            if key == sender:
+                continue
+            if value > self.get(key):
+                return False
+        return True
+
+    def deliver(self, stamp: Mapping[str, int], sender: str) -> None:
+        """Advance the local clock past a delivered message."""
+        if not self.can_deliver(stamp, sender):
+            raise ValueError("message not deliverable at this clock")
+        self._counters[sender] = self.get(sender) + 1
+
+    def keys(self) -> Iterable[str]:
+        """Keys with non-default counters."""
+        return self._counters.keys()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorClock):
+            return self.same_as(other._counters)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(self._counters.items()))
+        return f"<VC {inner}>"

@@ -1,0 +1,22 @@
+"""Library-interposition layer (pass-through interception mode).
+
+Public surface:
+
+- :class:`InterceptedClientTransport` — client calls intercepted,
+  traffic unchanged
+- :class:`InterceptedServerTransport` — server calls intercepted,
+  traffic unchanged
+
+The *redirecting* interposition mode — the replicator proper — lives
+in :mod:`repro.replication` and implements the same transport seam.
+"""
+
+from repro.interpose.interceptor import (
+    InterceptedClientTransport,
+    InterceptedServerTransport,
+)
+
+__all__ = [
+    "InterceptedClientTransport",
+    "InterceptedServerTransport",
+]

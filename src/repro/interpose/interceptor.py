@@ -1,0 +1,104 @@
+"""Library interposition (pass-through mode).
+
+The paper's replicator is an ``LD_PRELOAD``-style shared library that
+intercepts TCP system calls under the ORB.  Figure 4 measures the cost
+of *interception alone* — system calls intercepted but not modified —
+for three configurations (client only, server only, both).  These
+wrappers reproduce that operating mode: they charge the per-call
+interception cost on the host CPU and attribute it to the replicator
+component, then pass the traffic through unchanged.
+
+The redirect-to-group-communication mode is the replication layer
+itself (:mod:`repro.replication`), which implements these same
+transport interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.orb.accounting import COMPONENT_REPLICATOR
+from repro.orb.giop import GiopReply, GiopRequest
+from repro.orb.transport import (
+    ClientTransport,
+    ReplyHandler,
+    RequestHandler,
+    ServerTransport,
+    ServiceAddress,
+)
+from repro.sim.config import InterposeCalibration
+from repro.sim.host import Process
+
+
+class InterceptedClientTransport(ClientTransport):
+    """Client-side system-call interception without modification."""
+
+    def __init__(self, process: Process, inner: ClientTransport,
+                 calibration: Optional[InterposeCalibration] = None):
+        self.process = process
+        self.inner = inner
+        self.cal = calibration or InterposeCalibration()
+        self.calls_intercepted = 0
+
+    def send_request(self, request: GiopRequest,
+                     on_reply: ReplyHandler) -> None:
+        """Charge interception cost, then pass through."""
+        self.calls_intercepted += 1
+        cost = self.cal.intercept_us
+        request.timeline.add(COMPONENT_REPLICATOR, cost)
+
+        def forward() -> None:
+            if not self.process.alive:
+                return
+            self.inner.send_request(request, intercept_reply)
+
+        def intercept_reply(reply: GiopReply) -> None:
+            self.calls_intercepted += 1
+            reply.timeline.add(COMPONENT_REPLICATOR, cost)
+            self.process.host.cpu.execute(
+                cost,
+                lambda: on_reply(reply) if self.process.alive else None)
+
+        self.process.host.cpu.execute(cost, forward)
+
+    def close(self) -> None:
+        """Close the wrapped transport."""
+        self.inner.close()
+
+
+class InterceptedServerTransport(ServerTransport):
+    """Server-side system-call interception without modification."""
+
+    def __init__(self, process: Process, inner: ServerTransport,
+                 calibration: Optional[InterposeCalibration] = None):
+        self.process = process
+        self.inner = inner
+        self.cal = calibration or InterposeCalibration()
+        self.calls_intercepted = 0
+
+    def start(self, on_request: RequestHandler) -> ServiceAddress:
+        """Wrap the request path with interception costs."""
+        cost = self.cal.intercept_us
+
+        def intercept_request(request: GiopRequest,
+                              send_reply: ReplyHandler) -> None:
+            self.calls_intercepted += 1
+            request.timeline.add(COMPONENT_REPLICATOR, cost)
+
+            def intercepted_reply(reply: GiopReply) -> None:
+                self.calls_intercepted += 1
+                reply.timeline.add(COMPONENT_REPLICATOR, cost)
+                self.process.host.cpu.execute(
+                    cost,
+                    lambda: send_reply(reply) if self.process.alive else None)
+
+            self.process.host.cpu.execute(
+                cost,
+                lambda: (on_request(request, intercepted_reply)
+                         if self.process.alive else None))
+
+        return self.inner.start(intercept_request)
+
+    def stop(self) -> None:
+        """Stop the wrapped transport."""
+        self.inner.stop()

@@ -1,0 +1,46 @@
+"""Monitoring: sensors, replicated state and contracts.
+
+Public surface:
+
+- :class:`SlidingWindow` — time-windowed aggregation
+- :class:`MetricsHub`, :class:`MetricsSnapshot` and the individual
+  sensors (:class:`LatencySensor`, :class:`RateSensor`,
+  :class:`BandwidthSensor`, :class:`CpuSensor`)
+- :class:`ReplicatedState` — the identically-replicated system-state
+  object adaptation decisions are computed from
+- :class:`Contract`, :class:`ContractMonitor`, :class:`ContractStatus`,
+  :class:`ContractEvent` — behavioural contracts and warnings
+"""
+
+from repro.monitoring.contracts import (
+    Contract,
+    ContractEvent,
+    ContractMonitor,
+    ContractStatus,
+)
+from repro.monitoring.replicated_state import ReplicatedState, StateUpdate
+from repro.monitoring.sensors import (
+    BandwidthSensor,
+    CpuSensor,
+    LatencySensor,
+    MetricsHub,
+    MetricsSnapshot,
+    RateSensor,
+)
+from repro.monitoring.windows import SlidingWindow
+
+__all__ = [
+    "BandwidthSensor",
+    "Contract",
+    "ContractEvent",
+    "ContractMonitor",
+    "ContractStatus",
+    "CpuSensor",
+    "LatencySensor",
+    "MetricsHub",
+    "MetricsSnapshot",
+    "RateSensor",
+    "ReplicatedState",
+    "SlidingWindow",
+    "StateUpdate",
+]

@@ -1,0 +1,116 @@
+"""Behavioural contracts and warnings.
+
+Section 2 requires "defining contracts for the specified behavior of
+the overall system"; Section 3.1 adds that the replicator "generates
+warnings when the operating conditions are about to change" and, if a
+contract "can no longer be honored", offers degraded alternatives or
+notifies the operator.
+
+A :class:`Contract` is a named predicate over metric snapshots with a
+margin: inside the margin a *warning* fires (conditions about to
+change); beyond the limit a *violation* fires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.monitoring.sensors import MetricsSnapshot
+
+
+class ContractStatus(enum.Enum):
+    """Honoured / warning / violated state of a contract."""
+    HONOURED = "honoured"
+    WARNING = "warning"
+    VIOLATED = "violated"
+
+
+@dataclass(frozen=True)
+class Contract:
+    """An upper bound on one metric, with a warning margin.
+
+    ``metric`` names a :class:`MetricsSnapshot` field; the contract is
+    violated when the metric exceeds ``limit`` and in warning state
+    when it exceeds ``limit * warning_fraction``.
+    """
+
+    name: str
+    metric: str
+    limit: float
+    warning_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.limit <= 0:
+            raise ValueError("contract limit must be positive")
+        if not 0.0 < self.warning_fraction <= 1.0:
+            raise ValueError("warning fraction must be in (0, 1]")
+
+    def evaluate(self, snapshot: MetricsSnapshot) -> ContractStatus:
+        """Status of this contract against one snapshot."""
+        value = getattr(snapshot, self.metric)
+        if value > self.limit:
+            return ContractStatus.VIOLATED
+        if value > self.limit * self.warning_fraction:
+            return ContractStatus.WARNING
+        return ContractStatus.HONOURED
+
+
+@dataclass(frozen=True)
+class ContractEvent:
+    """A status transition of one contract."""
+
+    time: float
+    contract: str
+    status: ContractStatus
+    value: float
+
+
+class ContractMonitor:
+    """Evaluates a set of contracts against successive snapshots and
+    reports status *transitions* to subscribers."""
+
+    def __init__(self, contracts: Optional[List[Contract]] = None):
+        self.contracts: List[Contract] = list(contracts or [])
+        self._status: Dict[str, ContractStatus] = {}
+        self._subscribers: List[Callable[[ContractEvent], None]] = []
+        self.events: List[ContractEvent] = []
+
+    def add(self, contract: Contract) -> None:
+        """Register another contract (names must be unique)."""
+        if any(c.name == contract.name for c in self.contracts):
+            raise ValueError(f"duplicate contract name: {contract.name}")
+        self.contracts.append(contract)
+
+    def subscribe(self, callback: Callable[[ContractEvent], None]) -> None:
+        """Invoke ``callback`` on every status transition."""
+        self._subscribers.append(callback)
+
+    def evaluate(self, snapshot: MetricsSnapshot) -> Dict[str, ContractStatus]:
+        """Evaluate all contracts; emit events on transitions."""
+        result = {}
+        for contract in self.contracts:
+            status = contract.evaluate(snapshot)
+            result[contract.name] = status
+            previous = self._status.get(contract.name,
+                                        ContractStatus.HONOURED)
+            if status is not previous:
+                event = ContractEvent(
+                    time=snapshot.time, contract=contract.name,
+                    status=status,
+                    value=getattr(snapshot, contract.metric))
+                self.events.append(event)
+                for subscriber in self._subscribers:
+                    subscriber(event)
+            self._status[contract.name] = status
+        return result
+
+    def status(self, name: str) -> ContractStatus:
+        """Last known status of the named contract."""
+        return self._status.get(name, ContractStatus.HONOURED)
+
+    @property
+    def all_honoured(self) -> bool:
+        return all(s is ContractStatus.HONOURED
+                   for s in self._status.values())

@@ -1,0 +1,38 @@
+"""Network substrate: switched-LAN model with byte accounting.
+
+Public surface:
+
+- :class:`Network` — the LAN segment; attach hosts, send frames
+- :class:`Endpoint`, :class:`Frame` — addressing and on-wire units
+- :class:`NetworkStats`, :class:`HostTraffic` — bandwidth accounting
+- loss models: :class:`RandomLoss`, :class:`BurstLoss`,
+  :class:`DelaySpike`, :class:`CompositeLoss`
+"""
+
+from repro.net.frame import FRAME_OVERHEAD_BYTES, Endpoint, Frame
+from repro.net.loss import (
+    BurstLoss,
+    CompositeLoss,
+    DelaySpike,
+    LossModel,
+    RampJitter,
+    RandomLoss,
+)
+from repro.net.network import Network
+from repro.net.stats import HostTraffic, NetworkStats, bytes_per_us_to_mbps
+
+__all__ = [
+    "BurstLoss",
+    "CompositeLoss",
+    "DelaySpike",
+    "Endpoint",
+    "FRAME_OVERHEAD_BYTES",
+    "Frame",
+    "HostTraffic",
+    "LossModel",
+    "Network",
+    "NetworkStats",
+    "RampJitter",
+    "RandomLoss",
+    "bytes_per_us_to_mbps",
+]

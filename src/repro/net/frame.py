@@ -1,0 +1,56 @@
+"""Network frames.
+
+A :class:`Frame` is what the simulated LAN actually carries: an opaque
+payload plus explicit source/destination addressing and an on-wire
+size.  Byte sizes are modelled explicitly (rather than serializing
+real Python objects) because the paper's evaluation measures bandwidth
+in MB/s — the resource axis of the design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import NetworkError
+
+#: Fixed Ethernet + IP + UDP framing overhead charged per frame.
+FRAME_OVERHEAD_BYTES = 54
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A (host, port) network address."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One frame on the wire.
+
+    ``payload_bytes`` is the application-level size; the network adds
+    :data:`FRAME_OVERHEAD_BYTES` when computing transmission delay and
+    bandwidth accounting.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    payload: Any
+    payload_bytes: int = 0
+    kind: str = "data"
+    frame_id: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise NetworkError(
+                f"negative payload size: {self.payload_bytes}")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes this frame occupies on the wire."""
+        return self.payload_bytes + FRAME_OVERHEAD_BYTES

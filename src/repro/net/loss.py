@@ -1,0 +1,135 @@
+"""Message-loss and delay models for the network substrate.
+
+The paper's fault model includes "transient communication faults"
+(Section 3.1).  A :class:`LossModel` decides, per frame, whether the
+frame is dropped and how much extra delay it suffers; models compose
+so a base random-loss floor can be combined with injected loss bursts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+
+class LossModel:
+    """Base model: lossless, no extra delay."""
+
+    def judge(self, now: float, rng: random.Random) -> Tuple[bool, float]:
+        """Return ``(dropped, extra_delay_us)`` for a frame sent now."""
+        return False, 0.0
+
+
+class RandomLoss(LossModel):
+    """Drop each frame independently with probability ``rate``."""
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+
+    def judge(self, now: float, rng: random.Random) -> Tuple[bool, float]:
+        """See :meth:`LossModel.judge`."""
+        return rng.random() < self.rate, 0.0
+
+
+class BurstLoss(LossModel):
+    """Drop frames with ``rate`` only inside [start_us, end_us).
+
+    Models a transient communication fault: a loss burst on the LAN
+    during a bounded window.
+    """
+
+    def __init__(self, start_us: float, end_us: float, rate: float = 1.0):
+        if end_us <= start_us:
+            raise ValueError("burst end must be after start")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.start_us = start_us
+        self.end_us = end_us
+        self.rate = rate
+
+    def judge(self, now: float, rng: random.Random) -> Tuple[bool, float]:
+        """See :meth:`LossModel.judge`."""
+        if self.start_us <= now < self.end_us:
+            return rng.random() < self.rate, 0.0
+        return False, 0.0
+
+
+class DelaySpike(LossModel):
+    """Add ``extra_us`` of delay to frames inside a window.
+
+    Models the paper's "performance and timing faults": messages still
+    arrive but late enough to trip timeouts.
+    """
+
+    def __init__(self, start_us: float, end_us: float, extra_us: float):
+        if end_us <= start_us:
+            raise ValueError("spike end must be after start")
+        if extra_us < 0:
+            raise ValueError("extra delay must be non-negative")
+        self.start_us = start_us
+        self.end_us = end_us
+        self.extra_us = extra_us
+
+    def judge(self, now: float, rng: random.Random) -> Tuple[bool, float]:
+        """See :meth:`LossModel.judge`."""
+        if self.start_us <= now < self.end_us:
+            return False, self.extra_us
+        return False, 0.0
+
+
+class RampJitter(LossModel):
+    """Random extra delay whose amplitude ramps up over a window.
+
+    Models a *gradually* degrading network (growing congestion): each
+    frame inside [start_us, end_us) gets a uniform extra delay in
+    ``[0, peak_extra_us * progress]`` where progress ramps 0 -> 1
+    across the window.  The gradual onset is what distinguishes an
+    adaptive failure detector (which learns the widening inter-arrival
+    distribution) from a fixed timeout (which false-suspects as soon
+    as one gap crosses the threshold).
+    """
+
+    def __init__(self, start_us: float, end_us: float,
+                 peak_extra_us: float):
+        if end_us <= start_us:
+            raise ValueError("window end must be after start")
+        if peak_extra_us < 0:
+            raise ValueError("peak extra delay must be non-negative")
+        self.start_us = start_us
+        self.end_us = end_us
+        self.peak_extra_us = peak_extra_us
+
+    def judge(self, now: float, rng: random.Random) -> Tuple[bool, float]:
+        """See :meth:`LossModel.judge`."""
+        if not self.start_us <= now < self.end_us:
+            return False, 0.0
+        progress = (now - self.start_us) / (self.end_us - self.start_us)
+        return False, rng.uniform(0.0, self.peak_extra_us * progress)
+
+
+class CompositeLoss(LossModel):
+    """Combine models: dropped if any model drops; delays add up."""
+
+    def __init__(self, models: Optional[List[LossModel]] = None):
+        self.models: List[LossModel] = list(models or [])
+
+    def add(self, model: LossModel) -> None:
+        """Append a component model."""
+        self.models.append(model)
+
+    def remove(self, model: LossModel) -> None:
+        """Remove a component model (no-op if absent)."""
+        if model in self.models:
+            self.models.remove(model)
+
+    def judge(self, now: float, rng: random.Random) -> Tuple[bool, float]:
+        """Combine all component verdicts."""
+        dropped = False
+        delay = 0.0
+        for model in self.models:
+            d, extra = model.judge(now, rng)
+            dropped = dropped or d
+            delay += extra
+        return dropped, delay

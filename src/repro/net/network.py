@@ -1,0 +1,126 @@
+"""Switched-LAN network model.
+
+Models the paper's testbed LAN: hosts attached to one switch, frame
+delay = propagation + transmission (size/bandwidth) + uniform jitter,
+with optional loss/delay fault models.  Frames to the same host take a
+cheap loopback path.  All traffic is accounted in :class:`NetworkStats`
+for the bandwidth axis of the design space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.frame import Endpoint, Frame
+from repro.net.loss import CompositeLoss, LossModel
+from repro.net.stats import NetworkStats
+from repro.sim.config import NetworkCalibration
+from repro.sim.host import Host
+from repro.sim.kernel import Simulator
+
+
+class Network:
+    """A single switched LAN segment connecting :class:`Host` objects."""
+
+    def __init__(self, sim: Simulator,
+                 calibration: Optional[NetworkCalibration] = None):
+        self.sim = sim
+        self.calibration = calibration or NetworkCalibration()
+        self.calibration.validate()
+        self.hosts: Dict[str, Host] = {}
+        self.stats = NetworkStats()
+        self.loss = CompositeLoss()
+        self._frame_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(self, host: Host) -> Host:
+        """Attach a host to this LAN."""
+        if host.name in self.hosts:
+            raise NetworkError(f"host name already attached: {host.name}")
+        if host.network is not None:
+            raise NetworkError(f"host {host.name} already on a network")
+        self.hosts[host.name] = host
+        host.network = self
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up an attached host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host: {name}") from None
+
+    def add_host(self, name: str, **host_kwargs) -> Host:
+        """Create a host and attach it in one step."""
+        return self.attach(Host(self.sim, name, **host_kwargs))
+
+    # ------------------------------------------------------------------
+    # Fault models
+    # ------------------------------------------------------------------
+    def add_loss_model(self, model: LossModel) -> None:
+        """Install a loss/delay fault model on the segment."""
+        self.loss.add(model)
+
+    def remove_loss_model(self, model: LossModel) -> None:
+        """Uninstall a loss/delay fault model."""
+        self.loss.remove(model)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, src: Endpoint, dst: Endpoint, payload: object,
+             payload_bytes: int, kind: str = "data") -> None:
+        """Transmit one frame from ``src`` to ``dst``.
+
+        Delivery is asynchronous; frames to dead or unknown hosts are
+        dropped silently (datagram semantics — reliability is the
+        group-communication layer's job, as in Spread).
+        """
+        frame = Frame(src=src, dst=dst, payload=payload,
+                      payload_bytes=payload_bytes, kind=kind,
+                      frame_id=next(self._frame_ids))
+        self.transmit(frame)
+
+    def transmit(self, frame: Frame) -> None:
+        """Place a prepared frame on the wire."""
+        src_host = self.hosts.get(frame.src.host)
+        dst_host = self.hosts.get(frame.dst.host)
+        if src_host is None:
+            raise NetworkError(f"unknown source host: {frame.src.host}")
+        if not src_host.alive:
+            # A dead host cannot transmit; this is not an error because
+            # in-flight callbacks may race with a crash.
+            self.stats.record_drop()
+            return
+        if dst_host is None or not dst_host.alive:
+            self.stats.record_drop()
+            return
+
+        dropped, extra_delay = self.loss.judge(self.sim.now, self.sim.rng)
+        if dropped:
+            self.stats.record_drop()
+            self.sim.trace.record(self.sim.now, "net.drop",
+                                  f"frame {frame.src} -> {frame.dst} lost",
+                                  kind=frame.kind)
+            return
+
+        self.stats.record_transmit(self.sim.now, frame.src.host,
+                                   frame.dst.host, frame.wire_bytes)
+        delay = self._delay_us(frame, local=(frame.src.host == frame.dst.host))
+        self.sim.schedule(delay + extra_delay, dst_host.deliver,
+                          frame.dst.port, frame)
+
+    def _delay_us(self, frame: Frame, local: bool) -> float:
+        cal = self.calibration
+        if local:
+            return cal.local_loopback_us
+        transmission = frame.wire_bytes / cal.bandwidth_bytes_per_us
+        jitter = self.sim.rng.uniform(0.0, cal.jitter_us)
+        return cal.propagation_us + transmission + jitter
+
+    def __repr__(self) -> str:
+        return f"<Network hosts={sorted(self.hosts)}>"

@@ -1,0 +1,71 @@
+"""Miniature ORB (the TAO analogue).
+
+Public surface:
+
+- :class:`OrbClient`, :class:`OrbServer` — invocation endpoints
+- :class:`GiopRequest`, :class:`GiopReply`, :class:`ReplyStatus`
+- :class:`Servant`, :class:`ServantResult` and stock servants
+- :class:`ServiceAddress`, :class:`TcpClientTransport`,
+  :class:`TcpServerTransport` — the transport seam the replicator
+  interposes on
+- :class:`RequestTimeline` — per-request latency attribution (Fig. 3)
+"""
+
+from repro.orb.accounting import (
+    ALL_COMPONENTS,
+    COMPONENT_APPLICATION,
+    COMPONENT_GCS,
+    COMPONENT_NETWORK,
+    COMPONENT_ORB,
+    COMPONENT_REPLICATOR,
+    RequestTimeline,
+    average_timelines,
+)
+from repro.orb.client import OrbClient
+from repro.orb.giop import GiopReply, GiopRequest, ReplyStatus
+from repro.orb.marshal import marshalled_size, padded
+from repro.orb.servant import (
+    BusyServant,
+    CounterServant,
+    EchoServant,
+    KeyValueServant,
+    Servant,
+    ServantResult,
+)
+from repro.orb.server import OrbServer
+from repro.orb.transport import (
+    ClientTransport,
+    ServerTransport,
+    ServiceAddress,
+    TcpClientTransport,
+    TcpServerTransport,
+)
+
+__all__ = [
+    "ALL_COMPONENTS",
+    "BusyServant",
+    "COMPONENT_APPLICATION",
+    "COMPONENT_GCS",
+    "COMPONENT_NETWORK",
+    "COMPONENT_ORB",
+    "COMPONENT_REPLICATOR",
+    "ClientTransport",
+    "CounterServant",
+    "EchoServant",
+    "GiopReply",
+    "GiopRequest",
+    "KeyValueServant",
+    "OrbClient",
+    "OrbServer",
+    "ReplyStatus",
+    "RequestTimeline",
+    "Servant",
+    "ServantResult",
+    "ServerTransport",
+    "ServiceAddress",
+    "TcpClientTransport",
+    "TcpServerTransport",
+    "average_timelines",
+    "marshalled_size",
+    "padded",
+]

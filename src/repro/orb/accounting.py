@@ -1,0 +1,103 @@
+"""Per-request latency attribution.
+
+Paper Figure 3 breaks one round trip into application / ORB / group
+communication / replicator components.  A :class:`RequestTimeline`
+rides along with each request and reply; every layer adds the time it
+spent, and transit layers use handoff marks to attribute wire +
+daemon time.  The fig3 benchmark averages timelines over a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+#: Canonical component names, matching the paper's Figure 3 slices.
+COMPONENT_APPLICATION = "application"
+COMPONENT_ORB = "orb"
+COMPONENT_GCS = "group_communication"
+COMPONENT_REPLICATOR = "replicator"
+COMPONENT_NETWORK = "network"
+
+ALL_COMPONENTS = (
+    COMPONENT_APPLICATION,
+    COMPONENT_ORB,
+    COMPONENT_GCS,
+    COMPONENT_REPLICATOR,
+    COMPONENT_NETWORK,
+)
+
+
+class RequestTimeline:
+    """Mutable accumulator of per-component latency for one request."""
+
+    __slots__ = ("_components", "_handoff", "started_at", "completed_at")
+
+    def __init__(self) -> None:
+        self._components: Dict[str, float] = {}
+        self._handoff: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+
+    def add(self, component: str, micros: float) -> None:
+        """Attribute ``micros`` of latency to ``component``."""
+        if micros < 0:
+            raise ValueError(f"negative latency contribution: {micros}")
+        self._components[component] = self._components.get(component, 0.0) + micros
+
+    def mark_handoff(self, now: float) -> None:
+        """Record the moment a message was handed to a transit layer."""
+        self._handoff = now
+
+    def absorb_transit(self, component: str, now: float) -> None:
+        """Attribute the time since the last handoff to ``component``."""
+        if self._handoff is None:
+            return
+        self.add(component, max(0.0, now - self._handoff))
+        self._handoff = None
+
+    def get(self, component: str) -> float:
+        """Accumulated microseconds for ``component``."""
+        return self._components.get(component, 0.0)
+
+    def total(self) -> float:
+        """Sum over all components."""
+        return sum(self._components.values())
+
+    def components(self) -> Dict[str, float]:
+        """Copy of the per-component totals."""
+        return dict(self._components)
+
+    def fork(self) -> "RequestTimeline":
+        """Copy for fan-out: each replica's processing of one request
+        accumulates into its own fork, so first-response selection
+        reports the latency of the path actually taken."""
+        twin = RequestTimeline()
+        twin._components = dict(self._components)
+        twin._handoff = self._handoff
+        twin.started_at = self.started_at
+        twin.completed_at = self.completed_at
+        return twin
+
+    def merge_from(self, other: "RequestTimeline") -> None:
+        """Fold another timeline's components into this one (used when
+        the reply carries its own timeline back to the request's)."""
+        for component, micros in other._components.items():
+            self.add(component, micros)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.0f}us"
+                          for k, v in sorted(self._components.items()))
+        return f"<Timeline {inner}>"
+
+
+def average_timelines(timelines: Iterable[RequestTimeline]) -> Dict[str, float]:
+    """Mean per-component latency over a set of request timelines."""
+    totals: Dict[str, float] = {}
+    count = 0
+    for timeline in timelines:
+        count += 1
+        for component, micros in timeline.components().items():
+            totals[component] = totals.get(component, 0.0) + micros
+    if count == 0:
+        return {}
+    return {component: micros / count for component, micros in totals.items()}

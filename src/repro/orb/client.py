@@ -1,0 +1,80 @@
+"""Client-side ORB: marshalling, invocation, reply correlation."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import OrbError
+from repro.orb.accounting import COMPONENT_ORB
+from repro.orb.giop import GiopReply, GiopRequest
+from repro.orb.transport import ClientTransport
+from repro.sim.config import OrbCalibration
+from repro.sim.host import Process
+
+
+class OrbClient:
+    """Invokes operations on a remote object through a transport.
+
+    The transport may be the plain TCP one (baseline) or any of the
+    interposed/replicated ones — the client code is identical either
+    way, which is the paper's transparency requirement.
+    """
+
+    def __init__(self, process: Process, transport: ClientTransport,
+                 calibration: Optional[OrbCalibration] = None):
+        self.process = process
+        self.sim = process.sim
+        self.transport = transport
+        self.cal = calibration or OrbCalibration()
+        self._request_ids = itertools.count(1)
+
+    def invoke(self, object_key: str, operation: str, payload: Any,
+               payload_bytes: int, on_reply: Callable[[GiopReply], None],
+               oneway: bool = False) -> str:
+        """Marshal and send one invocation; ``on_reply`` fires with the
+        demarshalled reply (never fires for oneway calls).
+
+        Returns the request id (useful for tracing).
+        """
+        if payload_bytes < 0:
+            raise OrbError("payload_bytes must be non-negative")
+        if not self.process.alive:
+            raise OrbError(f"{self.process.name} is dead")
+        request_id = (f"{self.process.host.name}/{self.process.pid}"
+                      f"-{next(self._request_ids)}")
+        request = GiopRequest(request_id=request_id, object_key=object_key,
+                              operation=operation, payload=payload,
+                              payload_bytes=payload_bytes, oneway=oneway)
+        request.timeline.started_at = self.sim.now
+        marshal_us = (self.cal.marshal_fixed_us
+                      + self.cal.marshal_per_byte_us * payload_bytes)
+        request.timeline.add(COMPONENT_ORB, marshal_us)
+
+        def after_marshal() -> None:
+            if not self.process.alive:
+                return
+            self.transport.send_request(request, handle_reply)
+
+        def handle_reply(reply: GiopReply) -> None:
+            if not self.process.alive:
+                return
+            demarshal_us = (self.cal.demarshal_fixed_us
+                            + self.cal.demarshal_per_byte_us
+                            * reply.payload_bytes)
+            reply.timeline.add(COMPONENT_ORB, demarshal_us)
+
+            def after_demarshal() -> None:
+                if not self.process.alive:
+                    return
+                # The reply timeline is the request timeline (or a
+                # per-replica fork of it), so it already carries the
+                # outbound components — no merge needed.
+                reply.timeline.started_at = request.timeline.started_at
+                reply.timeline.completed_at = self.sim.now
+                on_reply(reply)
+
+            self.process.host.cpu.execute(demarshal_us, after_demarshal)
+
+        self.process.host.cpu.execute(marshal_us, after_marshal)
+        return request_id

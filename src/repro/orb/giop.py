@@ -1,0 +1,65 @@
+"""GIOP-like request/reply messages of the miniature ORB.
+
+Sizes are modelled explicitly: ``payload_bytes`` is the marshalled
+argument/result size and the transport adds the GIOP header.  The
+timeline object rides along with each message so every layer can
+attribute its latency contribution (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.orb.accounting import RequestTimeline
+
+
+class ReplyStatus(enum.Enum):
+    """Outcome classification of a GIOP reply."""
+    OK = "ok"
+    EXCEPTION = "exception"
+    NO_SUCH_OBJECT = "no_such_object"
+
+
+@dataclass(frozen=True)
+class GiopRequest:
+    """One marshalled invocation."""
+
+    request_id: str
+    object_key: str
+    operation: str
+    payload: Any
+    payload_bytes: int
+    oneway: bool = False
+    timeline: RequestTimeline = field(default_factory=RequestTimeline,
+                                      compare=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+
+    def fork(self) -> "GiopRequest":
+        """Copy with a forked timeline, for fan-out to replicas."""
+        from dataclasses import replace
+        return replace(self, timeline=self.timeline.fork())
+
+
+@dataclass(frozen=True)
+class GiopReply:
+    """One marshalled result."""
+
+    request_id: str
+    status: ReplyStatus
+    payload: Any
+    payload_bytes: int
+    #: Replication metadata piggybacked on replies (replica identity,
+    #: current style/primary) so clients can track the server group
+    #: configuration without extra round trips.
+    replica_info: Optional[dict] = None
+    timeline: RequestTimeline = field(default_factory=RequestTimeline,
+                                      compare=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")

@@ -1,0 +1,186 @@
+"""Servants: the application objects the ORB dispatches to.
+
+A servant handles operations and optionally exposes state capture /
+restore hooks.  The state hooks are what the replication layer uses
+for checkpointing (warm/cold passive) and state transfer — the paper
+replicates at the *process* level so "state" means the whole servant
+state, not per-object fragments (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.errors import OrbError
+
+
+@dataclass(frozen=True)
+class ServantResult:
+    """Outcome of dispatching one operation."""
+
+    payload: Any
+    payload_bytes: int
+    processing_us: float
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0 or self.processing_us < 0:
+            raise ValueError("servant result sizes/times must be >= 0")
+
+
+class Servant:
+    """Base servant.  Subclasses implement :meth:`dispatch`.
+
+    State hooks default to stateless behaviour; stateful servants
+    override all three so that passive replication can checkpoint them
+    and active replication can state-transfer to late joiners.
+    """
+
+    def dispatch(self, operation: str, payload: Any) -> ServantResult:
+        """Handle one operation; returns a :class:`ServantResult`."""
+        raise NotImplementedError
+
+    # -- state hooks ---------------------------------------------------
+    def get_state(self) -> Tuple[Any, int]:
+        """Return (state, state_bytes)."""
+        return None, 0
+
+    def set_state(self, state: Any) -> None:
+        """Restore from a checkpoint produced by :meth:`get_state`."""
+
+    @property
+    def deterministic(self) -> bool:
+        """Active replication requires deterministic servants; the
+        replication layer refuses active style otherwise."""
+        return True
+
+
+class EchoServant(Servant):
+    """The paper's micro-benchmark: echo with a tiny processing cost
+    (Fig. 3 attributes only ~15 µs to the application)."""
+
+    def __init__(self, processing_us: float = 15.0, reply_bytes: int = 64):
+        self.processing_us = processing_us
+        self.reply_bytes = reply_bytes
+        self.calls = 0
+
+    def dispatch(self, operation: str, payload: Any) -> ServantResult:
+        """Echo the payload after the configured processing cost."""
+        self.calls += 1
+        return ServantResult(payload=payload, payload_bytes=self.reply_bytes,
+                             processing_us=self.processing_us)
+
+    def get_state(self) -> Tuple[Any, int]:
+        """Snapshot the call counter."""
+        return {"calls": self.calls}, 16
+
+    def set_state(self, state: Any) -> None:
+        """Restore the call counter."""
+        self.calls = state["calls"]
+
+
+class CounterServant(Servant):
+    """A small stateful service used throughout tests and examples.
+
+    Operations: ``add`` (payload = amount), ``read``.  The counter's
+    value makes replica divergence immediately visible in tests.
+    """
+
+    def __init__(self, processing_us: float = 15.0,
+                 state_bytes: int = 1024, reply_bytes: int = 32):
+        self.value = 0
+        self.processing_us = processing_us
+        self.state_bytes = state_bytes
+        self.reply_bytes = reply_bytes
+
+    def dispatch(self, operation: str, payload: Any) -> ServantResult:
+        """Apply ``add``/``read``; returns the current value."""
+        if operation == "add":
+            self.value += int(payload)
+        elif operation != "read":
+            raise OrbError(f"CounterServant: unknown operation {operation!r}")
+        return ServantResult(payload=self.value,
+                             payload_bytes=self.reply_bytes,
+                             processing_us=self.processing_us)
+
+    def get_state(self) -> Tuple[Any, int]:
+        """Snapshot the counter value."""
+        return {"value": self.value}, self.state_bytes
+
+    def set_state(self, state: Any) -> None:
+        """Restore the counter value."""
+        self.value = state["value"]
+
+
+class BusyServant(Servant):
+    """Configurable-load servant for saturation experiments: every
+    request costs ``processing_us`` of CPU and returns ``reply_bytes``."""
+
+    def __init__(self, processing_us: float, reply_bytes: int = 256,
+                 state_bytes: int = 4096):
+        self.processing_us = processing_us
+        self.reply_bytes = reply_bytes
+        self.state_bytes = state_bytes
+        self.requests_seen = 0
+
+    def dispatch(self, operation: str, payload: Any) -> ServantResult:
+        """Burn the configured CPU time; returns the request count."""
+        self.requests_seen += 1
+        return ServantResult(payload=self.requests_seen,
+                             payload_bytes=self.reply_bytes,
+                             processing_us=self.processing_us)
+
+    def get_state(self) -> Tuple[Any, int]:
+        """Snapshot the request counter."""
+        return {"requests_seen": self.requests_seen}, self.state_bytes
+
+    def set_state(self, state: Any) -> None:
+        """Restore the request counter."""
+        self.requests_seen = state["requests_seen"]
+
+
+class KeyValueServant(Servant):
+    """A replicated key-value store: the kind of stateful service the
+    paper's middleware exists to protect.
+
+    Operations take a ``(key, value)`` tuple (or just a key) and the
+    state size is measured from the actual contents via the CDR size
+    model, so checkpoint costs track the real data.
+
+    Operations: ``put`` ((key, value)), ``get`` (key), ``delete``
+    (key), ``size`` (None).
+    """
+
+    def __init__(self, processing_us: float = 25.0):
+        self.data: dict = {}
+        self.processing_us = processing_us
+
+    def dispatch(self, operation: str, payload: Any) -> ServantResult:
+        """Apply ``put``/``get``/``delete``/``size`` to the map."""
+        from repro.orb.marshal import marshalled_size
+        if operation == "put":
+            key, value = payload
+            self.data[key] = value
+            result = "ok"
+        elif operation == "get":
+            result = self.data.get(payload)
+        elif operation == "delete":
+            result = self.data.pop(payload, None) is not None
+        elif operation == "size":
+            result = len(self.data)
+        else:
+            raise OrbError(f"KeyValueServant: unknown operation "
+                           f"{operation!r}")
+        return ServantResult(payload=result,
+                             payload_bytes=marshalled_size(result),
+                             processing_us=self.processing_us)
+
+    def get_state(self) -> Tuple[Any, int]:
+        """Snapshot the map with its measured marshalled size."""
+        from repro.orb.marshal import marshalled_size
+        snapshot = dict(self.data)
+        return snapshot, marshalled_size(snapshot)
+
+    def set_state(self, state: Any) -> None:
+        """Replace the map from a snapshot."""
+        self.data = dict(state)

@@ -1,0 +1,138 @@
+"""Server-side ORB: object adapter, dispatch, state capture.
+
+The :class:`OrbServer` is deliberately replication-unaware: replicas
+run an unmodified server over a replicated transport, matching the
+paper's transparency goal.  The state-capture hooks aggregate servant
+state so the replication layer can checkpoint the *process* as a unit
+(the paper replicates at process, not object, granularity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import OrbError
+from repro.orb.accounting import COMPONENT_APPLICATION, COMPONENT_ORB
+from repro.orb.giop import GiopReply, GiopRequest, ReplyStatus
+from repro.orb.servant import Servant, ServantResult
+from repro.orb.transport import ReplyHandler, ServerTransport, ServiceAddress
+from repro.sim.config import OrbCalibration
+from repro.sim.host import Process
+
+
+class OrbServer:
+    """Hosts servants and dispatches incoming GIOP requests to them."""
+
+    def __init__(self, process: Process, transport: ServerTransport,
+                 calibration: Optional[OrbCalibration] = None):
+        self.process = process
+        self.sim = process.sim
+        self.transport = transport
+        self.cal = calibration or OrbCalibration()
+        self._servants: Dict[str, Servant] = {}
+        self._started = False
+        self.address: Optional[ServiceAddress] = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Object adapter
+    # ------------------------------------------------------------------
+    def register(self, object_key: str, servant: Servant) -> None:
+        """Bind a servant to an object key."""
+        if object_key in self._servants:
+            raise OrbError(f"object key already registered: {object_key}")
+        self._servants[object_key] = servant
+
+    def servant(self, object_key: str) -> Servant:
+        """Look up a registered servant by key."""
+        try:
+            return self._servants[object_key]
+        except KeyError:
+            raise OrbError(f"no servant for key: {object_key}") from None
+
+    def start(self) -> ServiceAddress:
+        """Start accepting requests; returns the service address."""
+        if self._started:
+            raise OrbError("server already started")
+        if not self._servants:
+            raise OrbError("no servants registered")
+        self.address = self.transport.start(self._on_request)
+        self._started = True
+        return self.address
+
+    # ------------------------------------------------------------------
+    # Process-level state (for the replication layer)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Tuple[Dict[str, Any], int]:
+        """Snapshot the state of every servant; returns (state, bytes)."""
+        state: Dict[str, Any] = {}
+        total_bytes = 0
+        for key, servant in self._servants.items():
+            value, nbytes = servant.get_state()
+            state[key] = value
+            total_bytes += nbytes
+        return state, total_bytes
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Install a snapshot produced by :meth:`capture_state`."""
+        for key, value in state.items():
+            servant = self._servants.get(key)
+            if servant is not None:
+                servant.set_state(value)
+
+    @property
+    def deterministic(self) -> bool:
+        return all(s.deterministic for s in self._servants.values())
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+    def _on_request(self, request: GiopRequest,
+                    send_reply: ReplyHandler) -> None:
+        if not self.process.alive:
+            return
+        demarshal_us = (self.cal.demarshal_fixed_us
+                        + self.cal.demarshal_per_byte_us
+                        * request.payload_bytes)
+        request.timeline.add(COMPONENT_ORB, demarshal_us + self.cal.dispatch_us)
+        cpu = self.process.host.cpu
+
+        def dispatch() -> None:
+            if not self.process.alive:
+                return
+            servant = self._servants.get(request.object_key)
+            if servant is None:
+                self._finish(request, send_reply,
+                             ServantResult(None, 0, 0.0),
+                             status=ReplyStatus.NO_SUCH_OBJECT)
+                return
+            try:
+                result = servant.dispatch(request.operation, request.payload)
+            except OrbError as exc:
+                self._finish(request, send_reply,
+                             ServantResult(str(exc), 32, 0.0),
+                             status=ReplyStatus.EXCEPTION)
+                return
+            request.timeline.add(COMPONENT_APPLICATION, result.processing_us)
+            cpu.execute(result.processing_us, lambda: self._finish(
+                request, send_reply, result, status=ReplyStatus.OK))
+
+        cpu.execute(demarshal_us + self.cal.dispatch_us, dispatch)
+
+    def _finish(self, request: GiopRequest, send_reply: ReplyHandler,
+                result: ServantResult, status: ReplyStatus) -> None:
+        if not self.process.alive:
+            return
+        self.requests_served += 1
+        if request.oneway:
+            return
+        marshal_us = (self.cal.marshal_fixed_us
+                      + self.cal.marshal_per_byte_us * result.payload_bytes)
+        reply = GiopReply(request_id=request.request_id, status=status,
+                          payload=result.payload,
+                          payload_bytes=result.payload_bytes,
+                          timeline=request.timeline)
+        reply.timeline.add(COMPONENT_ORB, marshal_us)
+        self.process.host.cpu.execute(
+            marshal_us,
+            lambda: send_reply(reply) if self.process.alive else None)

@@ -1,0 +1,242 @@
+"""Client-side replicator: routes invocations to the replica group.
+
+Implements the :class:`ClientTransport` seam, so an unmodified
+:class:`OrbClient` talks to a replicated service exactly as it would
+to a single server (the paper's transparency requirement).
+
+Routing policy
+--------------
+- **Active style**: requests are multicast AGREED to the group; the
+  first reply wins (or, with voting enabled, a majority of identical
+  replies — the Byzantine-client option of Section 3.1).  Duplicate
+  replies from the other replicas are discarded.
+- **Passive styles**: requests go point-to-point to the primary.
+- The current style and primary are *learned*, not configured: every
+  reply piggybacks them, and the client also watches the group so it
+  knows the membership (and the join-order primary) before the first
+  reply.
+- **Retries** go AGREED to the whole group, which is correct in every
+  style and during style switches; server-side duplicate suppression
+  makes retries safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ReplicationError
+from repro.gcs.client import GcsClient
+from repro.gcs.messages import Grade, GroupView, MemberId
+from repro.orb.accounting import COMPONENT_GCS, COMPONENT_REPLICATOR
+from repro.orb.giop import GiopReply, GiopRequest
+from repro.orb.transport import ClientTransport, ReplyHandler
+from repro.replication.messages import RepReply, RepRequest
+from repro.replication.styles import (
+    ClientReplicationConfig,
+    ReplicationStyle,
+)
+from repro.sim.actor import Actor
+from repro.sim.config import InterposeCalibration
+
+
+class _Outstanding:
+    """Book-keeping for one not-yet-answered invocation."""
+
+    __slots__ = ("rep", "on_reply", "attempts", "votes", "failed")
+
+    def __init__(self, rep: RepRequest, on_reply: ReplyHandler):
+        self.rep = rep
+        self.on_reply = on_reply
+        self.attempts = 0
+        self.votes: List[RepReply] = []
+        self.failed = False
+
+
+class ClientReplicator(Actor, ClientTransport):
+    """Replication middleware under one client's ORB."""
+
+    def __init__(self, gcs: GcsClient, config: ClientReplicationConfig,
+                 interpose_cal: Optional[InterposeCalibration] = None,
+                 on_failure: Optional[Callable[[GiopRequest], None]] = None):
+        super().__init__(gcs.process, name=f"repl:{gcs.process.name}")
+        self.gcs = gcs
+        self.config = config
+        self.ical = interpose_cal or InterposeCalibration()
+        self.group = config.group
+        self.style: ReplicationStyle = config.expected_style
+        self.primary: Optional[MemberId] = None
+        self.broadcast = False
+        self.members: tuple = ()
+        self.on_failure = on_failure
+        self._outstanding: Dict[str, _Outstanding] = {}
+        self.requests_sent = 0
+        self.retries = 0
+        self.replies_received = 0
+        self.duplicate_replies = 0
+        self.failures = 0
+        gcs.on_direct(self._on_direct)
+        gcs.watch(self.group, _WatchShim(self))
+
+    # ==================================================================
+    # ClientTransport interface (called by OrbClient)
+    # ==================================================================
+    def send_request(self, request: GiopRequest,
+                     on_reply: ReplyHandler) -> None:
+        """ClientTransport hook: route one invocation to the group."""
+        if not self.alive:
+            raise ReplicationError(f"{self.process.name} is dead")
+        rep = RepRequest(request=request, client=self.gcs.member)
+        entry = _Outstanding(rep, on_reply)
+        if not request.oneway:
+            self._outstanding[request.request_id] = entry
+        request.timeline.add(COMPONENT_REPLICATOR, self.ical.redirect_us)
+
+        def dispatch() -> None:
+            if not self.alive:
+                return
+            self._transmit(entry, first_attempt=True)
+
+        self.process.host.cpu.execute(self.ical.redirect_us, dispatch)
+
+    def close(self) -> None:
+        """Drop all outstanding invocations."""
+        self._outstanding.clear()
+
+    # ==================================================================
+    # Transmission and retry
+    # ==================================================================
+    def _transmit(self, entry: _Outstanding, first_attempt: bool) -> None:
+        entry.attempts += 1
+        request = entry.rep.request
+        request.timeline.mark_handoff(self.sim.now)
+        target = self._routing_target() if first_attempt else None
+        if target is not None:
+            self.gcs.send_direct(target, entry.rep, entry.rep.wire_bytes)
+        else:
+            # Active style, unknown primary, or a retry: the safe path
+            # is an AGREED multicast to the whole group.
+            self.gcs.multicast(self.group, entry.rep, entry.rep.wire_bytes,
+                               grade=Grade.AGREED)
+        if first_attempt:
+            self.requests_sent += 1
+        else:
+            self.retries += 1
+        if not request.oneway:
+            self.set_timer(f"retry:{request.request_id}",
+                           self.config.retry_timeout_us,
+                           self._on_timeout, request.request_id)
+
+    def _routing_target(self) -> Optional[MemberId]:
+        """Point-to-point target for the first attempt, or None for
+        group multicast."""
+        if self.broadcast:
+            # Broadcast-mode warm passive: the whole group must see
+            # requests so the backups can log them for replay.
+            return None
+        if self.style.is_passive and self.primary is not None:
+            return self.primary
+        return None
+
+    def _on_timeout(self, request_id: str) -> None:
+        entry = self._outstanding.get(request_id)
+        if entry is None or entry.failed:
+            return
+        if entry.attempts > self.config.max_retries:
+            entry.failed = True
+            self._outstanding.pop(request_id, None)
+            self.failures += 1
+            self.trace("repl.client.failure",
+                       f"giving up on {request_id} after "
+                       f"{entry.attempts} attempts")
+            if self.on_failure is not None:
+                self.on_failure(entry.rep.request)
+            return
+        self._transmit(entry, first_attempt=False)
+
+    # ==================================================================
+    # Replies
+    # ==================================================================
+    def _on_direct(self, sender: MemberId, payload: Any,
+                   nbytes: int) -> None:
+        if not isinstance(payload, RepReply):
+            return
+        self._learn(payload)
+        request_id = payload.reply.request_id
+        entry = self._outstanding.get(request_id)
+        if entry is None:
+            self.duplicate_replies += 1
+            return
+        if self.config.voting:
+            self._vote(entry, payload)
+        else:
+            self._accept(entry, payload)
+
+    def _learn(self, reply: RepReply) -> None:
+        """Track the group's current configuration from piggybacks."""
+        self.style = reply.style
+        self.broadcast = reply.broadcast
+        if reply.primary is not None:
+            self.primary = reply.primary
+
+    def _vote(self, entry: _Outstanding, rep_reply: RepReply) -> None:
+        """Majority voting over reply payloads (Byzantine option)."""
+        if any(v.replica == rep_reply.replica for v in entry.votes):
+            return  # one vote per replica
+        entry.votes.append(rep_reply)
+        electorate = max(len(self.members), 1)
+        needed = electorate // 2 + 1
+        tallies: Dict[Any, int] = {}
+        for vote in entry.votes:
+            key = repr(vote.reply.payload)
+            tallies[key] = tallies.get(key, 0) + 1
+            if tallies[key] >= needed:
+                self._accept(entry, vote)
+                return
+
+    def _accept(self, entry: _Outstanding, rep_reply: RepReply) -> None:
+        request_id = rep_reply.reply.request_id
+        self._outstanding.pop(request_id, None)
+        self.cancel_timer(f"retry:{request_id}")
+        self.replies_received += 1
+        reply = rep_reply.reply
+        reply.timeline.absorb_transit(COMPONENT_GCS, self.sim.now)
+        reply.timeline.add(COMPONENT_REPLICATOR, self.ical.redirect_us)
+
+        def deliver() -> None:
+            if self.alive:
+                entry.on_reply(reply)
+
+        self.process.host.cpu.execute(self.ical.redirect_us, deliver)
+
+    # ==================================================================
+    # Group view tracking
+    # ==================================================================
+    def _on_view(self, view: GroupView) -> None:
+        self.members = view.members
+        if view.members:
+            if self.primary not in view.members:
+                self.primary = view.members[0]
+        else:
+            self.primary = None
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    def on_stop(self) -> None:
+        """Drop outstanding invocations when the process dies."""
+        self._outstanding.clear()
+
+
+class _WatchShim:
+    """Group-view watcher feeding the client replicator."""
+
+    def __init__(self, replicator: ClientReplicator):
+        self._replicator = replicator
+
+    def on_message(self, group: str, sender: MemberId, payload: Any,
+                   nbytes: int) -> None:
+        """Watchers receive no data."""
+
+    def on_view(self, view: GroupView, joined, left, crashed) -> None:
+        self._replicator._on_view(view)

@@ -1,0 +1,107 @@
+"""Replication-layer messages carried over the GCS.
+
+These are the payloads the replicator instances exchange: replicated
+requests and replies, checkpoints, style-switch commands (Fig. 5) and
+state-transfer traffic for joining replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.gcs.messages import MemberId
+from repro.orb.giop import GiopReply, GiopRequest
+from repro.replication.styles import ReplicationStyle
+
+#: Fixed replication-layer header added to every message's wire size.
+REP_HEADER_BYTES = 40
+
+
+@dataclass(frozen=True)
+class RepRequest:
+    """A client invocation wrapped for the replica group."""
+
+    request: GiopRequest
+    client: MemberId
+    #: Set when a backup relays a misdirected request to the primary,
+    #: so the relay cannot loop.
+    relayed: bool = False
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.request.payload_bytes + REP_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class RepReply:
+    """A server reply sent point-to-point back to the client.
+
+    ``style`` and ``primary`` piggyback the group's current
+    configuration so the client-side replicator tracks the low-level
+    knob settings without extra round trips.
+    """
+
+    reply: GiopReply
+    replica: MemberId
+    style: ReplicationStyle
+    primary: Optional[MemberId]
+    #: True when the group runs broadcast-mode warm passive: clients
+    #: should multicast requests so the backups can log them.
+    broadcast: bool = False
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.reply.payload_bytes + REP_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A state snapshot multicast (AGREED) within the replica group.
+
+    ``final_for`` carries a switch id when this is the "one more
+    checkpoint" of the warm-passive-to-active switch (Fig. 5), and
+    ``sync_for`` carries a member id when the checkpoint exists to
+    bring a newly joined replica up to date.
+    """
+
+    ckpt_id: int
+    state: Any
+    state_bytes: int
+    source: MemberId
+    final_for: Optional[str] = None
+    sync_for: Optional[MemberId] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.state_bytes + REP_HEADER_BYTES + 24
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """A newly joined replica asks the group's oldest member for a
+    state-transfer checkpoint (sent point-to-point, retried on a timer
+    so a crashed donor cannot strand the joiner)."""
+
+    joiner: MemberId
+
+    @property
+    def wire_bytes(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class SwitchCommand:
+    """Step I of the Fig. 5 protocol: initiate a style switch.
+
+    Multicast AGREED so every replica sees it at the same point in the
+    request stream; duplicates (same ``switch_id``) are discarded.
+    """
+
+    switch_id: str
+    target: ReplicationStyle
+    initiator: MemberId
+
+    @property
+    def wire_bytes(self) -> int:
+        return 64

@@ -1,0 +1,754 @@
+"""Server-side replicator: the middle layer of the paper's replicator
+stack.
+
+One :class:`ServerReplicator` runs under each server replica's ORB
+(it implements the :class:`ServerTransport` seam, so the server
+application and ORB are replication-unaware).  It joins the replica
+group, delivers totally-ordered requests to the local ORB, manages
+checkpoints, elects primaries, transfers state to joining replicas,
+and runs the Fig. 5 runtime style-switch protocol.
+
+Roles by style
+--------------
+- **Active**: every replica processes every (AGREED-ordered) request
+  and replies directly to the client; the client keeps the first
+  response (or votes).
+- **Warm passive**: the longest-standing member is the primary; it
+  alone processes requests and multicasts a checkpoint every
+  ``checkpoint_interval_requests`` requests.  With ``sync_checkpoints``
+  the primary quiesces until its own checkpoint is delivered back on
+  the total order — the quiescence cost the paper identifies as the
+  price of passive replication.
+- **Cold passive**: like warm passive, but checkpoints go to stable
+  storage and no live backups exist; a :class:`ReplicaFactory`
+  launches a replacement on failure.
+- **Hybrid**: the first ``active_head`` members behave actively; the
+  remainder are warm backups of the head's oldest member (the
+  Bakken-style extension the paper's related work sketches).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import AdaptationError, ReplicationError
+from repro.gcs.client import GcsClient
+from repro.gcs.messages import Grade, GroupView, MemberId
+from repro.orb.accounting import COMPONENT_GCS, COMPONENT_REPLICATOR
+from repro.orb.giop import GiopReply, GiopRequest
+from repro.orb.transport import ReplyHandler, RequestHandler, ServerTransport, ServiceAddress
+from repro.replication.messages import (
+    Checkpoint,
+    RepReply,
+    RepRequest,
+    SwitchCommand,
+    SyncRequest,
+)
+from repro.replication.store import StableStore
+from repro.replication.styles import ReplicationConfig, ReplicationStyle
+from repro.replication.switch import SwitchPhase, SwitchRecord, SwitchState
+from repro.sim.actor import Actor
+from repro.sim.config import InterposeCalibration, ReplicationCalibration
+
+#: Reply-cache bound (duplicate suppression window).
+SEEN_CACHE_LIMIT = 8192
+
+#: Joiner state-transfer request retry period.
+SYNC_RETRY_US = 120_000.0
+
+
+class ServerReplicator(Actor, ServerTransport):
+    """Replication middleware for one server replica."""
+
+    def __init__(self, gcs: GcsClient, config: ReplicationConfig,
+                 replication_cal: Optional[ReplicationCalibration] = None,
+                 interpose_cal: Optional[InterposeCalibration] = None,
+                 store: Optional[StableStore] = None,
+                 sync_checkpoints: bool = True):
+        super().__init__(gcs.process,
+                         name=f"repl:{gcs.process.name}")
+        self.gcs = gcs
+        self.config = config
+        self.rcal = replication_cal or ReplicationCalibration()
+        self.ical = interpose_cal or InterposeCalibration()
+        self.store = store
+        self.sync_checkpoints = sync_checkpoints
+        if config.style is ReplicationStyle.COLD_PASSIVE and store is None:
+            raise ReplicationError("cold passive replication needs a store")
+
+        self.member = gcs.member
+        self.group = config.group
+        self.style = config.style
+        self.view: Optional[GroupView] = None
+
+        self._on_request: Optional[RequestHandler] = None
+        self._state_provider: Optional[Any] = None
+        self._started = False
+
+        # Duplicate suppression + reply cache: req_id -> reply (None
+        # while the request is still in flight).
+        self._seen: "OrderedDict[str, Optional[RepReply]]" = OrderedDict()
+        # Requests logged since the last checkpoint (broadcast mode).
+        self._request_log: List[RepRequest] = []
+        self._since_ckpt = 0
+        self._ckpt_ids = 0
+        # Pause/queue machinery (switches, sync fences, quiescence).
+        self._paused = 0
+        self._queue: List[RepRequest] = []
+        self._inflight = 0
+        self._drain_waiters: List[Callable[[], None]] = []
+        # Passive primaries with synchronous checkpoints hold replies
+        # until the covering checkpoint is stable, so a reply implies
+        # the state it reflects survives the primary's crash.
+        self._held_replies: List[Tuple[MemberId, RepReply]] = []
+        # Switch protocol.
+        self._switch: Optional[SwitchState] = None
+        self._switches_seen: set = set()
+        self.switch_history: List[SwitchRecord] = []
+        # Joiner state transfer.
+        self._synced = False
+        # Arrival-rate sensor (feeds the adaptation layer, Fig. 6).
+        from repro.monitoring.sensors import RateSensor
+        self.arrivals = RateSensor(window_us=500_000.0)
+        # Statistics.
+        self.requests_processed = 0
+        self.replies_sent = 0
+        self.duplicates_suppressed = 0
+        self.checkpoints_sent = 0
+        self.checkpoints_applied = 0
+        self.relays = 0
+
+    # ==================================================================
+    # ServerTransport interface (called by OrbServer)
+    # ==================================================================
+    def start(self, on_request: RequestHandler) -> ServiceAddress:
+        """ServerTransport hook: join the group and begin serving."""
+        if self._started:
+            raise ReplicationError("replicator already started")
+        self._on_request = on_request
+        self._started = True
+        self.gcs.on_direct(self._on_direct)
+        self.gcs.join(self.group, _ListenerShim(self))
+        self.set_periodic_timer("sync", SYNC_RETRY_US, self._sync_tick)
+        return ServiceAddress.replicated(self.group)
+
+    def stop(self) -> None:
+        """Leave the replica group."""
+        if self._started and self.alive:
+            self.gcs.leave(self.group)
+            self._started = False
+
+    def bind_state_provider(self, provider: Any) -> None:
+        """Attach the object exposing ``capture_state``/``restore_state``
+        (normally the :class:`OrbServer`)."""
+        self._state_provider = provider
+
+    # ==================================================================
+    # Role computation
+    # ==================================================================
+    @property
+    def primary(self) -> Optional[MemberId]:
+        """Deterministic primary: the longest-standing group member
+        (for hybrid: the longest-standing member of the active head)."""
+        if self.view is None or not self.view.members:
+            return None
+        return self.view.members[0]
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary == self.member
+
+    @property
+    def processes_requests(self) -> bool:
+        """Does this replica execute application requests right now?"""
+        if self.style.executes_everywhere:
+            return True
+        if self.style is ReplicationStyle.HYBRID:
+            return self._hybrid_rank() < self.config.active_head
+        return self.is_primary
+
+    @property
+    def transmits_replies(self) -> bool:
+        """Semi-active (Delta-4 XPA leader-follower): every replica
+        executes, but only the leader transmits output responses."""
+        if self.style is ReplicationStyle.SEMI_ACTIVE:
+            return self.is_primary
+        return True
+
+    def _hybrid_rank(self) -> int:
+        if self.view is None:
+            return 0
+        try:
+            return self.view.members.index(self.member)
+        except ValueError:
+            return 0
+
+    @property
+    def switching(self) -> bool:
+        return self._switch is not None
+
+    # ==================================================================
+    # Group delivery
+    # ==================================================================
+    def _on_group_message(self, sender: MemberId, payload: Any) -> None:
+        if isinstance(payload, RepRequest):
+            self._receive_request(payload, via_group=True)
+        elif isinstance(payload, Checkpoint):
+            self._receive_checkpoint(payload)
+        elif isinstance(payload, SwitchCommand):
+            self._on_switch_command(payload)
+
+    def _on_direct(self, sender: MemberId, payload: Any,
+                   nbytes: int) -> None:
+        if isinstance(payload, RepRequest):
+            self._receive_request(payload, via_group=False)
+        elif isinstance(payload, SyncRequest):
+            self._on_sync_request(payload)
+
+    # ==================================================================
+    # Request path
+    # ==================================================================
+    def _receive_request(self, rep: RepRequest, via_group: bool) -> None:
+        if not self.alive or not self._started:
+            return
+        self.arrivals.record_arrival(self.sim.now)
+        if self._switch is not None or self._paused or not self._synced:
+            if via_group:
+                self._queue.append(rep)
+            else:
+                # Point-to-point requests arriving mid-switch are
+                # re-multicast so every (soon-to-be-active) replica
+                # sees them at the same place in the total order.
+                self._republish(rep)
+            return
+        if not via_group and not self.style.is_passive:
+            # A point-to-point request reached an active replica (the
+            # client has stale style knowledge, e.g. right after a
+            # passive-to-active switch).  Republish on the total order
+            # so every replica executes it — processing it alone would
+            # diverge the state machines.
+            self._republish(rep)
+            return
+        if not self.processes_requests:
+            if via_group:
+                if self.config.broadcast_requests:
+                    self._request_log.append(rep)
+                return
+            # Misdirected point-to-point request (stale primary info at
+            # the client): relay once to the current primary.
+            if not rep.relayed and self.primary is not None \
+                    and self.primary != self.member:
+                self.relays += 1
+                relay = RepRequest(request=rep.request, client=rep.client,
+                                   relayed=True)
+                self.gcs.send_direct(self.primary, relay, relay.wire_bytes)
+            return
+        self._process(rep)
+
+    def _republish(self, rep: RepRequest) -> None:
+        again = RepRequest(request=rep.request, client=rep.client,
+                           relayed=True)
+        self.gcs.multicast(self.group, again, again.wire_bytes,
+                           grade=Grade.AGREED)
+
+    def _process(self, rep: RepRequest) -> None:
+        request = rep.request
+        req_id = request.request_id
+        if req_id in self._seen:
+            cached = self._seen[req_id]
+            if cached is not None:
+                # At-most-once semantics: resend the cached reply.
+                self.duplicates_suppressed += 1
+                self.gcs.send_direct(rep.client, cached, cached.wire_bytes)
+            return
+        self._remember(req_id, None)
+        tracked = not request.oneway
+        if tracked:
+            self._inflight += 1
+
+        local = request.fork()
+        local.timeline.absorb_transit(COMPONENT_GCS, self.sim.now)
+        overhead = (self.ical.redirect_us + self.rcal.duplicate_check_us
+                    + self.rcal.logging_us)
+        local.timeline.add(COMPONENT_REPLICATOR, overhead)
+
+        def hand_to_orb() -> None:
+            if not self.alive:
+                return
+            assert self._on_request is not None
+            self._on_request(local, lambda reply: finish(reply))
+
+        def finish(reply: GiopReply) -> None:
+            if not self.alive:
+                return
+            if tracked:
+                self._inflight -= 1
+            self.requests_processed += 1
+            rep_reply = RepReply(reply=reply, replica=self.member,
+                                 style=self.style, primary=self.primary,
+                                 broadcast=self.config.broadcast_requests)
+            self._remember(req_id, rep_reply)
+            reply.timeline.add(COMPONENT_REPLICATOR, self.ical.redirect_us)
+            if not self.transmits_replies:
+                # Semi-active follower: execute for state consistency
+                # and fast failover, but suppress the output (it is
+                # cached for duplicate-triggered resends).
+                pass
+            elif self._must_hold_reply():
+                # The covering checkpoint goes out first; the reply is
+                # released when that checkpoint is stable.
+                self._held_replies.append((rep.client, rep_reply))
+            else:
+                reply.timeline.mark_handoff(self.sim.now)
+                self.gcs.send_direct(rep.client, rep_reply,
+                                     rep_reply.wire_bytes)
+                self.replies_sent += 1
+            self._after_request()
+            if tracked and self._inflight == 0:
+                self._fire_drain_waiters()
+
+        self.process.host.cpu.execute(overhead, hand_to_orb)
+
+    def _remember(self, req_id: str, reply: Optional[RepReply]) -> None:
+        self._seen[req_id] = reply
+        self._seen.move_to_end(req_id)
+        while len(self._seen) > SEEN_CACHE_LIMIT:
+            self._seen.popitem(last=False)
+
+    def _must_hold_reply(self) -> bool:
+        """True when the reply must wait for checkpoint stability:
+        synchronous-checkpoint passive primary whose next checkpoint
+        is due now (it will cover this request's state change)."""
+        if not self.sync_checkpoints:
+            return False
+        if not self.style.is_passive:
+            return False
+        if not self.is_primary or not self.processes_requests:
+            return False
+        return (self._since_ckpt + 1
+                >= self.config.checkpoint_interval_requests)
+
+    def _release_held_replies(self) -> None:
+        held, self._held_replies = self._held_replies, []
+        for client, rep_reply in held:
+            rep_reply.reply.timeline.mark_handoff(self.sim.now)
+            self.gcs.send_direct(client, rep_reply, rep_reply.wire_bytes)
+            self.replies_sent += 1
+
+    def _after_request(self) -> None:
+        """Post-processing hook: periodic checkpointing for the styles
+        that need it."""
+        if self.style.executes_everywhere:
+            if self._held_replies:
+                self._release_held_replies()
+            return
+        if not self.processes_requests or not self.is_primary:
+            return
+        self._since_ckpt += 1
+        if self._since_ckpt >= self.config.checkpoint_interval_requests:
+            self._checkpoint()
+        elif self._held_replies:
+            self._release_held_replies()
+
+    # ==================================================================
+    # Checkpointing and state transfer
+    # ==================================================================
+    def _capture(self) -> Tuple[Any, int]:
+        if self._state_provider is None:
+            return None, 0
+        return self._state_provider.capture_state()
+
+    def _checkpoint(self, final_for: Optional[str] = None,
+                    sync_for: Optional[MemberId] = None) -> None:
+        """Capture state now; publish after the serialization cost."""
+        state, nbytes = self._capture()
+        self._since_ckpt = 0
+        self._request_log.clear()
+        self._ckpt_ids += 1
+        # Periodic checkpoints ship incremental state updates; the
+        # final (switch) and sync (state-transfer) checkpoints must be
+        # complete snapshots.
+        if final_for is None and sync_for is None:
+            wire_state = int(nbytes * self.config.checkpoint_delta_fraction)
+        else:
+            wire_state = nbytes
+        ckpt = Checkpoint(ckpt_id=self._ckpt_ids, state=state,
+                          state_bytes=wire_state, source=self.member,
+                          final_for=final_for, sync_for=sync_for)
+        backups = max(0, len(self.view.members) - 1) if self.view else 0
+        cost = (self.rcal.checkpoint_fixed_us
+                + self.rcal.checkpoint_per_byte_us * nbytes  # full state
+                + self.rcal.checkpoint_per_target_us * backups)
+
+        def publish() -> None:
+            if not self.alive:
+                return
+            if (self.style is ReplicationStyle.COLD_PASSIVE
+                    and final_for is None and sync_for is None):
+                assert self.store is not None
+                if self.sync_checkpoints:
+                    self._pause()
+                    self.store.write(self.group, ckpt.ckpt_id, ckpt.state,
+                                     ckpt.state_bytes,
+                                     on_done=self._on_checkpoint_stable)
+                else:
+                    self.store.write(self.group, ckpt.ckpt_id, ckpt.state,
+                                     ckpt.state_bytes)
+                self.checkpoints_sent += 1
+                return
+            grade = (Grade.SAFE if self.config.safe_checkpoints
+                     else Grade.AGREED)
+            self.gcs.multicast(self.group, ckpt, ckpt.wire_bytes,
+                               grade=grade)
+            self.checkpoints_sent += 1
+            if self.sync_checkpoints and final_for is None:
+                # Quiesce until the checkpoint is delivered back on the
+                # total order (the passive-style latency cost).
+                self._pause()
+
+        self.process.host.cpu.execute(cost, publish)
+
+    def _receive_checkpoint(self, ckpt: Checkpoint) -> None:
+        if ckpt.source == self.member:
+            # Self-delivery: the checkpoint is stable in the total
+            # order; release held replies and quiescence, or complete
+            # the switch it finalizes.
+            if self._switch is not None \
+                    and ckpt.final_for == self._switch.switch_id:
+                self._complete_switch()
+            elif self.sync_checkpoints and ckpt.final_for is None:
+                self._on_checkpoint_stable()
+            return
+        apply_cost = (self.rcal.state_apply_fixed_us
+                      + self.rcal.state_apply_per_byte_us * ckpt.state_bytes)
+
+        def apply() -> None:
+            if not self.alive:
+                return
+            if self._state_provider is not None and ckpt.state is not None:
+                self._state_provider.restore_state(ckpt.state)
+            self.checkpoints_applied += 1
+            self._request_log.clear()
+            if not self._synced:
+                if ckpt.sync_for in (None, self.member):
+                    self._mark_synced()
+            if self._switch is not None \
+                    and ckpt.final_for == self._switch.switch_id:
+                self._switch.final_checkpoint_seen = True
+                self._complete_switch()
+
+        self.process.host.cpu.execute(apply_cost, apply)
+
+    def _restore_from_store(self) -> None:
+        """Cold-passive recovery: load the last persisted checkpoint."""
+        assert self.store is not None
+
+        def loaded(snapshot) -> None:
+            if not self.alive:
+                return
+            if snapshot is not None and self._state_provider is not None:
+                apply_cost = (self.rcal.state_apply_fixed_us
+                              + self.rcal.state_apply_per_byte_us
+                              * snapshot.state_bytes)
+                self.process.host.cpu.execute(
+                    apply_cost,
+                    self._guarded_restore(snapshot.state))
+            else:
+                self._mark_synced()
+
+        self.store.read(self.group, loaded)
+
+    def _guarded_restore(self, state: Any) -> Callable[[], None]:
+        def run() -> None:
+            if not self.alive:
+                return
+            if self._state_provider is not None:
+                self._state_provider.restore_state(state)
+            self.trace("repl.recovery",
+                       f"{self.member} restored from stable store")
+            self._mark_synced()
+        return run
+
+    def _on_checkpoint_stable(self) -> None:
+        """A synchronous checkpoint reached stability: replies whose
+        state it covers may go out, and intake resumes."""
+        if not self.alive:
+            return
+        self._release_held_replies()
+        self._resume()
+
+    def _mark_synced(self) -> None:
+        if self._synced:
+            return
+        self._synced = True
+        self.cancel_timer("sync-retry")
+        self.trace("repl.sync", f"{self.member} synced into {self.group}")
+        self._drain_queue()
+
+    def _sync_tick(self) -> None:
+        """Joiner-driven state transfer: until synced, periodically ask
+        the oldest member for a checkpoint (survives donor crashes)."""
+        if self._synced or self.view is None:
+            return
+        if self.view.members and self.view.members[0] == self.member:
+            # Everyone older than us is gone; adopt our own state.
+            self._mark_synced()
+            return
+        donor = self.view.members[0] if self.view.members else None
+        if donor is not None:
+            req = SyncRequest(joiner=self.member)
+            self.gcs.send_direct(donor, req, req.wire_bytes)
+
+    def _on_sync_request(self, request: SyncRequest) -> None:
+        if not self._synced or not self.alive:
+            return
+        if not self.style.is_passive:
+            # Fence: quiesce, drain in-flight work, checkpoint at a
+            # total-order-consistent point, then resume.
+            self._pause()
+            self._when_drained(
+                lambda: (self._checkpoint(sync_for=request.joiner),
+                         self._resume()))
+        else:
+            if self.is_primary:
+                self._checkpoint(sync_for=request.joiner)
+
+    # ==================================================================
+    # Pause / drain machinery
+    # ==================================================================
+    def _pause(self) -> None:
+        self._paused += 1
+
+    def _resume(self) -> None:
+        if self._paused > 0:
+            self._paused -= 1
+        if self._paused == 0 and self._switch is None:
+            self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        while self._queue and not self._paused and self._switch is None \
+                and self._synced:
+            rep = self._queue.pop(0)
+            if self.processes_requests:
+                self._process(rep)
+            elif self.config.broadcast_requests:
+                self._request_log.append(rep)
+
+    def _when_drained(self, action: Callable[[], None]) -> None:
+        if self._inflight == 0:
+            action()
+        else:
+            self._drain_waiters.append(action)
+
+    def _fire_drain_waiters(self) -> None:
+        waiters, self._drain_waiters = self._drain_waiters, []
+        for action in waiters:
+            action()
+
+    # ==================================================================
+    # Style switching (paper Fig. 5)
+    # ==================================================================
+    def request_switch(self, target: ReplicationStyle) -> str:
+        """Step I: initiate a switch by multicasting the command.
+
+        Any replica may initiate; concurrent initiations of the same
+        transition produce the same switch id and are discarded as
+        duplicates, exactly as Fig. 5 prescribes.
+        """
+        if target is self.style and self._switch is None:
+            raise AdaptationError(f"already running style {target.value}")
+        epoch = len(self._switches_seen)
+        switch_id = f"{self.group}:{self.style.short}->{target.short}:{epoch}"
+        command = SwitchCommand(switch_id=switch_id, target=target,
+                                initiator=self.member)
+        self.gcs.multicast(self.group, command, command.wire_bytes,
+                           grade=Grade.AGREED)
+        return switch_id
+
+    def _on_switch_command(self, command: SwitchCommand) -> None:
+        if command.switch_id in self._switches_seen:
+            return  # duplicate switch message discarded
+        self._switches_seen.add(command.switch_id)
+        if command.target is self.style or self._switch is not None:
+            return
+        if command.target is ReplicationStyle.COLD_PASSIVE \
+                and self.store is None:
+            self.trace("repl.switch",
+                       "refusing switch to cold passive without a store")
+            return
+        self._switch = SwitchState(switch_id=command.switch_id,
+                                   from_style=self.style,
+                                   target=command.target,
+                                   started_at=self.sim.now)
+        self.trace("repl.switch",
+                   f"step II: preparing {self.style.value} -> "
+                   f"{command.target.value}", switch_id=command.switch_id)
+        # Step II: everyone starts enqueueing application messages
+        # (handled by the _switch check in _receive_request).
+        if self._switch.passive_to_active:
+            if self.is_primary:
+                # Case 1: primary sends one more checkpoint.
+                self._when_drained(
+                    lambda: self._checkpoint(
+                        final_for=command.switch_id))
+            # Backups: wait for that checkpoint (or the primary's
+            # crash, handled in _on_view).
+        else:
+            # Case 2 (and active->cold / passive<->passive): drain
+            # in-flight work, then adopt the new roles.
+            self._when_drained(self._complete_switch)
+
+    def _complete_switch(self) -> None:
+        switch = self._switch
+        if switch is None or switch.phase is not SwitchPhase.PREPARING:
+            return
+        queued = len(self._queue)
+        switch.phase = SwitchPhase.COMPLETE
+        switch.completed_at = self.sim.now
+        self.style = switch.target
+        self._switch = None
+        self._since_ckpt = 0
+        self._release_held_replies()
+        self.switch_history.append(SwitchRecord(
+            switch_id=switch.switch_id, from_style=switch.from_style,
+            to_style=switch.target, started_at=switch.started_at,
+            completed_at=self.sim.now, queued_requests=queued))
+        self.trace("repl.switch",
+                   f"step III: switched to {self.style.value} "
+                   f"({queued} queued requests)",
+                   switch_id=switch.switch_id, queued=queued)
+        # Step III: process the outstanding requests in the message
+        # queue under the new style.  Under active->passive the paper
+        # has the new backups process outstanding requests *and then*
+        # become completely passive — _drain_passive_queue does that.
+        if self.style.is_passive and not self.processes_requests:
+            self._drain_outstanding_then_go_passive()
+        else:
+            self._drain_queue()
+
+    def _drain_outstanding_then_go_passive(self) -> None:
+        """Fig. 5 case 2: a new backup processes the requests enqueued
+        during the switch (keeping its state aligned with the new
+        primary at the switch point), then stops processing."""
+        outstanding, self._queue = self._queue, []
+        for rep in outstanding:
+            self._process(rep)
+
+    def _rollback_switch(self) -> None:
+        """Fig. 5 case 1, crash branch: the passive primary died before
+        its final checkpoint.  Become active immediately and process
+        everything in the message queue (the rollback)."""
+        switch = self._switch
+        if switch is None:
+            return
+        queued = len(self._queue)
+        switch.phase = SwitchPhase.ROLLED_BACK
+        switch.completed_at = self.sim.now
+        self.style = switch.target
+        self._switch = None
+        self._release_held_replies()
+        self.switch_history.append(SwitchRecord(
+            switch_id=switch.switch_id, from_style=switch.from_style,
+            to_style=switch.target, started_at=switch.started_at,
+            completed_at=self.sim.now, rolled_back=True,
+            queued_requests=queued))
+        self.trace("repl.switch",
+                   f"rollback: primary crashed mid-switch; processing "
+                   f"{queued} outstanding requests",
+                   switch_id=switch.switch_id)
+        self._drain_queue()
+
+    # ==================================================================
+    # View changes
+    # ==================================================================
+    def _on_view(self, view: GroupView, joined: List[MemberId],
+                 left: List[MemberId], crashed: bool) -> None:
+        previous = self.view
+        self.view = view
+        if self.member in joined:
+            if len(view.members) == 1:
+                # First member: no live peer to sync from.  A cold
+                # passive (re)start recovers from stable storage first.
+                if self.style is ReplicationStyle.COLD_PASSIVE \
+                        and self.store is not None:
+                    self._restore_from_store()
+                else:
+                    self._mark_synced()
+            else:
+                self.set_timer("sync-retry", 1.0, self._sync_tick)
+            return
+        if not left:
+            return
+        old_primary = previous.members[0] if previous and previous.members \
+            else None
+        primary_lost = old_primary is not None and old_primary in left
+        if self._switch is not None and self._switch.passive_to_active \
+                and primary_lost and not self._switch.final_checkpoint_seen:
+            self._rollback_switch()
+            return
+        if primary_lost and self.style.is_passive and self.is_primary:
+            self._take_over_as_primary()
+
+    def _take_over_as_primary(self) -> None:
+        """Warm-passive failover: the oldest surviving backup becomes
+        primary — its state is the last applied checkpoint, plus the
+        replay of logged requests in broadcast mode."""
+        self.trace("repl.failover",
+                   f"{self.member} taking over as primary")
+
+        def promoted() -> None:
+            if not self.alive:
+                return
+            log, self._request_log = self._request_log, []
+            for rep in log:
+                self._process(rep)
+            # A fresh checkpoint re-arms the remaining backups.
+            if len(self.view.members) > 1 if self.view else False:
+                self._checkpoint()
+
+        self.process.host.cpu.execute(self.rcal.election_us, promoted)
+
+    # ==================================================================
+    # Runtime knob setters
+    # ==================================================================
+    def set_checkpoint_interval(self, interval_requests: int) -> None:
+        """Low-level knob: checkpoint frequency, adjustable live."""
+        if interval_requests < 1:
+            raise ReplicationError("checkpoint interval must be >= 1")
+        from dataclasses import replace
+        self.config = replace(
+            self.config,
+            checkpoint_interval_requests=interval_requests)
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    @property
+    def synced(self) -> bool:
+        return self._synced
+
+    @property
+    def queued_requests(self) -> int:
+        return len(self._queue)
+
+    def on_stop(self) -> None:
+        """Drop queued work when the process dies."""
+        self._queue.clear()
+        self._drain_waiters.clear()
+        self._held_replies.clear()
+
+
+class _ListenerShim:
+    """Adapts GroupListener callbacks onto the replicator's methods."""
+
+    def __init__(self, replicator: ServerReplicator):
+        self._replicator = replicator
+
+    def on_message(self, group: str, sender: MemberId, payload: Any,
+                   nbytes: int) -> None:
+        self._replicator._on_group_message(sender, payload)
+
+    def on_view(self, view: GroupView, joined: List[MemberId],
+                left: List[MemberId], crashed: bool) -> None:
+        self._replicator._on_view(view, joined, left, crashed)

@@ -1,0 +1,52 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+- :class:`Simulator` — event-heap kernel with a microsecond clock
+- :class:`Host`, :class:`Process`, :class:`Cpu` — machine model
+- :class:`Actor` — timer-managed protocol component
+- :class:`TraceLog`, :class:`TraceRecord` — structured run trace
+- :class:`SubstrateCalibration` and friends — paper-anchored cost models
+"""
+
+from repro.sim.actor import Actor
+from repro.sim.config import (
+    GcsCalibration,
+    HostCalibration,
+    InterposeCalibration,
+    NetworkCalibration,
+    OrbCalibration,
+    PAPER_BANDWIDTH_LIMIT_MBPS,
+    PAPER_COST_WEIGHT,
+    PAPER_FIG3_BREAKDOWN,
+    PAPER_LATENCY_LIMIT_US,
+    ReplicationCalibration,
+    SubstrateCalibration,
+    default_calibration,
+)
+from repro.sim.host import Cpu, Host, Process
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Actor",
+    "Cpu",
+    "EventHandle",
+    "GcsCalibration",
+    "Host",
+    "HostCalibration",
+    "InterposeCalibration",
+    "NetworkCalibration",
+    "OrbCalibration",
+    "PAPER_BANDWIDTH_LIMIT_MBPS",
+    "PAPER_COST_WEIGHT",
+    "PAPER_FIG3_BREAKDOWN",
+    "PAPER_LATENCY_LIMIT_US",
+    "Process",
+    "ReplicationCalibration",
+    "Simulator",
+    "SubstrateCalibration",
+    "TraceLog",
+    "TraceRecord",
+    "default_calibration",
+]

@@ -1,0 +1,199 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic event-heap scheduler with a simulated clock
+measured in **microseconds** (the unit the paper reports all latencies
+in).  Everything else in the library — the network substrate, the group
+communication system, the replicator — is built as callbacks scheduled
+on a :class:`Simulator`.
+
+Determinism
+-----------
+A simulation run is fully determined by its seed: the kernel owns a
+single :class:`random.Random` instance and ties are broken by a
+monotonically increasing sequence number, so two runs with the same
+seed and the same scenario produce identical traces.  This property is
+load-bearing for the paper's architecture: adaptation decisions are
+"made in a distributed manner by a deterministic algorithm" over
+replicated state (Section 3.1), and the tests assert reproducibility.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.trace import TraceLog
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Returned by :meth:`Simulator.schedule`; calling :meth:`cancel`
+    prevents the callback from firing (cancelling an already-fired or
+    already-cancelled event is a harmless no-op).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled timers do not pin large
+        # payloads in the heap until their scheduled time.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not self.cancelled and self.callback is not _fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.1f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback for cancelled events."""
+
+
+def _fired(*_args: Any) -> None:
+    """Sentinel marking an event that has already been dispatched."""
+
+
+class Simulator:
+    """Event-heap simulator with a microsecond clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the kernel's random number generator.  All stochastic
+        behaviour in the library (network jitter, loss, workload
+        arrivals) draws from :attr:`rng`, so a run is reproducible from
+        its seed alone.
+    trace:
+        Optional :class:`TraceLog`; a fresh one is created by default.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.trace = trace if trace is not None else TraceLog()
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}")
+        if not callable(callback):
+            raise SimulationError(f"callback is not callable: {callback!r}")
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single next event.
+
+        Returns False when the event queue is exhausted.
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now:
+                raise SimulationError(
+                    f"event at t={handle.time} is in the past (now={self.now})")
+            self.now = handle.time
+            callback, args = handle.callback, handle.args
+            handle.callback = _fired
+            handle.args = ()
+            self._events_dispatched += 1
+            callback(*args)
+            return True
+        return False
+
+    def run(self, until: float = math.inf, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` events have been dispatched.
+
+        Returns the simulated time at which the run stopped.  When the
+        run stops because of ``until``, the clock is advanced to
+        ``until`` even if no event fired exactly there, so that
+        consecutive ``run`` calls see a monotone clock.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > until:
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                self.step()
+                dispatched += 1
+        finally:
+            self._running = False
+        if until is not math.inf and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until_idle(self) -> float:
+        """Run until no events remain; returns the final clock value."""
+        return self.run()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._events_dispatched
+
+    def __repr__(self) -> str:
+        return (f"<Simulator now={self.now:.1f}us "
+                f"pending={self.pending_events} seed={self.seed}>")

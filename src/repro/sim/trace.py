@@ -1,0 +1,101 @@
+"""Structured trace log for simulation runs.
+
+Every subsystem records significant events (message sends, view
+changes, checkpoints, style switches, faults) into the simulator's
+:class:`TraceLog`.  The benchmarks and tests query the trace rather
+than scraping printed output, and examples render it for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (µs) at which the event was recorded.
+    category:
+        Dotted subsystem tag, e.g. ``"gcs.view"`` or ``"repl.switch"``.
+    message:
+        Human-readable one-liner.
+    data:
+        Structured payload for programmatic consumers.
+    """
+
+    time: float
+    category: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only, queryable event trace.
+
+    Categories are hierarchical by dot-separated prefix: querying for
+    ``"gcs"`` matches ``"gcs.view"`` and ``"gcs.deliver"``.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+        self.enabled = True
+
+    def record(self, time: float, category: str, message: str,
+               **data: Any) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time=time, category=category,
+                          message=message, data=data)
+        self._records.append(rec)
+        if self._capacity is not None and len(self._records) > self._capacity:
+            del self._records[:len(self._records) - self._capacity]
+        for listener in self._listeners:
+            listener(rec)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` on every future record."""
+        self._listeners.append(listener)
+
+    def query(self, category: Optional[str] = None,
+              since: float = 0.0) -> List[TraceRecord]:
+        """Return records matching a category prefix, at or after ``since``."""
+        out = []
+        for rec in self._records:
+            if rec.time < since:
+                continue
+            if category is not None and not _matches(rec.category, category):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of records matching the category prefix."""
+        return len(self.query(category))
+
+    def last(self, category: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent record matching the category prefix, if any."""
+        matching = self.query(category)
+        return matching[-1] if matching else None
+
+    def clear(self) -> None:
+        """Drop all stored records (listeners stay subscribed)."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+
+def _matches(category: str, prefix: str) -> bool:
+    """True if ``category`` equals ``prefix`` or is nested under it."""
+    return category == prefix or category.startswith(prefix + ".")

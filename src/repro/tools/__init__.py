@@ -1,0 +1,27 @@
+"""Operator tools: trace timelines, ASCII charts, CSV export.
+
+Public surface:
+
+- :func:`render_timeline`, :func:`render_series`,
+  :func:`summarize_trace` — human-readable run inspection
+- :func:`profile_to_csv`, :func:`policy_to_csv`,
+  :func:`series_to_csv` — data export for external plotting
+"""
+
+from repro.tools.export import policy_to_csv, profile_to_csv, series_to_csv
+from repro.tools.timeline import (
+    DEFAULT_CATEGORIES,
+    render_series,
+    render_timeline,
+    summarize_trace,
+)
+
+__all__ = [
+    "DEFAULT_CATEGORIES",
+    "policy_to_csv",
+    "profile_to_csv",
+    "render_series",
+    "render_timeline",
+    "series_to_csv",
+    "summarize_trace",
+]

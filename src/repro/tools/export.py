@@ -1,0 +1,71 @@
+"""Exporting measurement data for external plotting.
+
+The paper's figures are plots over the Fig. 7 sweep; these helpers
+serialize a :class:`Profile` (and scenario results) to CSV so any
+plotting tool can regenerate them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Optional, TextIO
+
+from repro.core.measurements import Profile
+from repro.core.policies import ScalabilityPolicy
+
+PROFILE_COLUMNS = ("style", "n_replicas", "n_clients", "latency_us",
+                   "jitter_us", "bandwidth_mbps", "throughput_per_s",
+                   "faults_tolerated")
+
+
+def profile_to_csv(profile: Profile, out: Optional[TextIO] = None) -> str:
+    """Write the sweep as CSV; returns the text (also written to
+    ``out`` when given)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(PROFILE_COLUMNS)
+    for m in sorted(profile, key=lambda m: (m.config.style.value,
+                                            m.config.n_replicas,
+                                            m.n_clients)):
+        writer.writerow([
+            m.config.style.value, m.config.n_replicas, m.n_clients,
+            f"{m.latency_us:.2f}", f"{m.jitter_us:.2f}",
+            f"{m.bandwidth_mbps:.4f}", f"{m.throughput_per_s:.2f}",
+            m.config.faults_tolerated])
+    text = buffer.getvalue()
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def policy_to_csv(policy: ScalabilityPolicy,
+                  out: Optional[TextIO] = None) -> str:
+    """Write a synthesized Table 2 as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(("n_clients", "config", "latency_us",
+                     "bandwidth_mbps", "faults_tolerated", "cost"))
+    for entry in policy.table():
+        writer.writerow([
+            entry.n_clients, entry.config.label,
+            f"{entry.latency_us:.2f}", f"{entry.bandwidth_mbps:.4f}",
+            entry.faults_tolerated, f"{entry.cost:.4f}"])
+    text = buffer.getvalue()
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def series_to_csv(series: Iterable[tuple], header: tuple,
+                  out: Optional[TextIO] = None) -> str:
+    """Write any (x, y, ...) series as CSV with the given header."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for row in series:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if out is not None:
+        out.write(text)
+    return text

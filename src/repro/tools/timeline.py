@@ -1,0 +1,81 @@
+"""Human-readable rendering of simulation traces.
+
+The trace log records everything significant a run did (view changes,
+switches, checkpoints, faults).  These helpers turn it into the kind
+of annotated timeline an experimenter pastes into a lab notebook, and
+into simple ASCII charts for rate/latency series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+#: Categories worth showing in a default timeline, with display tags.
+DEFAULT_CATEGORIES = (
+    ("host.crash", "FAULT"),
+    ("process.crash", "FAULT"),
+    ("host.restart", "RECOVER"),
+    ("gcs.suspect", "DETECT"),
+    ("gcs.install", "VIEW"),
+    ("gcs.view", "GROUP"),
+    ("repl.switch", "SWITCH"),
+    ("repl.failover", "FAILOVER"),
+    ("repl.recovery", "RECOVER"),
+    ("repl.sync", "SYNC"),
+    ("adapt.switch", "ADAPT"),
+    ("workload.done", "DONE"),
+)
+
+
+def render_timeline(trace: TraceLog,
+                    categories: Optional[Sequence[Tuple[str, str]]] = None,
+                    since_us: float = 0.0,
+                    limit: Optional[int] = None) -> str:
+    """Render trace records as ``[   t.tttt s] TAG       message`` lines."""
+    chosen = list(categories or DEFAULT_CATEGORIES)
+    rows: List[Tuple[float, str, str]] = []
+    for prefix, tag in chosen:
+        for record in trace.query(prefix, since=since_us):
+            rows.append((record.time, tag, record.message))
+    rows.sort(key=lambda row: row[0])
+    if limit is not None:
+        rows = rows[:limit]
+    lines = [f"[{time / 1e6:10.4f} s] {tag:9s} {message}"
+             for time, tag, message in rows]
+    return "\n".join(lines)
+
+
+def render_series(series: Iterable[Tuple[float, float]],
+                  width: int = 50, label: str = "value",
+                  time_divisor: float = 1e6,
+                  time_unit: str = "s") -> str:
+    """Render an (time, value) series as a horizontal ASCII bar chart."""
+    points = list(series)
+    if not points:
+        return "(empty series)"
+    peak = max(value for _, value in points)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = [f"{label} (peak {peak:.1f})"]
+    for time, value in points:
+        bar = "#" * int(value * scale)
+        lines.append(f"{time / time_divisor:9.2f}{time_unit} "
+                     f"{value:10.1f} |{bar}")
+    return "\n".join(lines)
+
+
+def summarize_trace(trace: TraceLog) -> dict:
+    """Headline counters for a run: faults, view changes, switches."""
+    return {
+        "records": len(trace),
+        "host_crashes": trace.count("host.crash"),
+        "process_crashes": trace.count("process.crash"),
+        "daemon_view_changes": trace.count("gcs.install"),
+        "group_view_changes": trace.count("gcs.view"),
+        "style_switches": sum(
+            1 for record in trace.query("repl.switch")
+            if "step III" in record.message or "rollback" in record.message),
+        "failovers": trace.count("repl.failover"),
+        "adaptations": trace.count("adapt.switch"),
+    }

@@ -1,0 +1,36 @@
+"""Workload: load profiles and client drivers.
+
+Public surface:
+
+- :class:`ClosedLoopClient` — the paper's 10,000-request cycle driver
+- :class:`OpenLoopClient` — rate-driven arrivals (Fig. 6)
+- :class:`WorkloadStats` — per-client outcome
+- profiles: :class:`ConstantRate`, :class:`StepProfile`,
+  :class:`RampProfile`, :class:`SpikeProfile`
+"""
+
+from repro.workload.clients import (
+    ClosedLoopClient,
+    OpenLoopClient,
+    ThinkTimeClient,
+    WorkloadStats,
+)
+from repro.workload.profiles import (
+    ConstantRate,
+    RampProfile,
+    RateProfile,
+    SpikeProfile,
+    StepProfile,
+)
+
+__all__ = [
+    "ClosedLoopClient",
+    "ConstantRate",
+    "OpenLoopClient",
+    "RampProfile",
+    "RateProfile",
+    "SpikeProfile",
+    "StepProfile",
+    "ThinkTimeClient",
+    "WorkloadStats",
+]

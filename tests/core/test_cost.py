@@ -1,0 +1,86 @@
+"""Tests for constraints and the Section 4.3 cost function."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Constraints, CostFunction
+from repro.errors import ConfigurationError
+
+
+def test_paper_defaults():
+    c = Constraints()
+    assert c.max_latency_us == 7000.0
+    assert c.max_bandwidth_mbps == 3.0
+    f = CostFunction()
+    assert f.latency_weight == 0.5
+
+
+def test_constraints_satisfaction():
+    c = Constraints()
+    assert c.satisfied_by(6999.0, 2.9)
+    assert not c.satisfied_by(7001.0, 2.9)
+    assert not c.satisfied_by(6999.0, 3.1)
+
+
+def test_cost_at_limits_is_one():
+    """At exactly the constraint limits, cost = p + (1-p) = 1."""
+    f = CostFunction()
+    assert f.cost(7000.0, 3.0) == pytest.approx(1.0)
+
+
+def test_paper_table2_cost_values():
+    """Spot-check against Table 2's reported costs."""
+    f = CostFunction()
+    # A(3), 1 client: 1245.8 us, 1.074 MB/s -> 0.268
+    assert f.cost(1245.8, 1.074) == pytest.approx(0.268, abs=0.001)
+    # P(2), 5 clients: 6006.2 us, 2.799 MB/s -> 0.895
+    assert f.cost(6006.2, 2.799) == pytest.approx(0.895, abs=0.001)
+
+
+def test_weight_extremes():
+    lat_only = CostFunction(latency_weight=1.0)
+    bw_only = CostFunction(latency_weight=0.0)
+    assert lat_only.cost(3500.0, 99.0) == pytest.approx(0.5)
+    assert bw_only.cost(99999.0, 1.5) == pytest.approx(0.5)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        Constraints(max_latency_us=0.0)
+    with pytest.raises(ConfigurationError):
+        CostFunction(latency_weight=1.5)
+    with pytest.raises(ConfigurationError):
+        CostFunction(latency_norm_us=-1.0)
+
+
+def test_from_constraints_uses_limits_as_normalizers():
+    c = Constraints(max_latency_us=1000.0, max_bandwidth_mbps=10.0)
+    f = CostFunction.from_constraints(c)
+    assert f.cost(1000.0, 10.0) == pytest.approx(1.0)
+
+
+@given(st.floats(min_value=0, max_value=1e6),
+       st.floats(min_value=0, max_value=1e3))
+def test_cost_nonnegative(latency, bandwidth):
+    assert CostFunction().cost(latency, bandwidth) >= 0.0
+
+
+@given(st.floats(min_value=0, max_value=1e5),
+       st.floats(min_value=0, max_value=1e5),
+       st.floats(min_value=0, max_value=100))
+def test_cost_monotone_in_latency(lat_a, lat_b, bandwidth):
+    f = CostFunction()
+    if lat_a <= lat_b:
+        assert f.cost(lat_a, bandwidth) <= f.cost(lat_b, bandwidth)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0, max_value=1e5),
+       st.floats(min_value=0, max_value=100))
+def test_cost_is_convex_combination(p, latency, bandwidth):
+    f = CostFunction(latency_weight=p)
+    lat_term = latency / 7000.0
+    bw_term = bandwidth / 3.0
+    cost = f.cost(latency, bandwidth)
+    assert min(lat_term, bw_term) - 1e-9 <= cost <= max(lat_term,
+                                                        bw_term) + 1e-9

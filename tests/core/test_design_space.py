@@ -1,0 +1,81 @@
+"""Tests for the Fig. 1 / Fig. 9 design-space model."""
+
+import pytest
+
+from repro.core import ConfigPoint, DesignSpace, Measurement, Profile
+from repro.errors import PolicyError
+from repro.replication import ReplicationStyle
+
+A = ReplicationStyle.ACTIVE
+P = ReplicationStyle.WARM_PASSIVE
+
+
+def small_profile() -> Profile:
+    rows = [
+        (A, 3, 1, 1200.0, 1.5), (A, 3, 5, 2000.0, 5.6),
+        (A, 2, 1, 1100.0, 1.0), (A, 2, 5, 1900.0, 3.9),
+        (P, 3, 1, 2400.0, 0.9), (P, 3, 5, 7300.0, 2.9),
+        (P, 2, 1, 2200.0, 0.7), (P, 2, 5, 6000.0, 2.8),
+    ]
+    return Profile(
+        Measurement(config=ConfigPoint(style=s, n_replicas=r),
+                    n_clients=c, latency_us=lat, jitter_us=0.0,
+                    bandwidth_mbps=bw)
+        for s, r, c, lat, bw in rows)
+
+
+def test_normalization_in_unit_cube():
+    space = DesignSpace.from_profile(small_profile())
+    for point in space.points:
+        assert 0.0 <= point.fault_tolerance <= 1.0
+        assert 0.0 <= point.performance <= 1.0
+        assert 0.0 <= point.resources <= 1.0
+
+
+def test_slowest_config_has_zero_performance():
+    space = DesignSpace.from_profile(small_profile())
+    worst = min(space.points, key=lambda p: p.performance)
+    assert worst.performance == pytest.approx(0.0)
+    assert worst.style is P
+
+
+def test_regions_partition_points():
+    space = DesignSpace.from_profile(small_profile())
+    assert len(space.region(A)) + len(space.region(P)) == len(space.points)
+
+
+def test_active_faster_than_passive_everywhere():
+    """Fig. 9's observation: the active region sits at higher
+    performance, the passive region at lower resources."""
+    space = DesignSpace.from_profile(small_profile())
+    min_active_perf = min(p.performance for p in space.region(A))
+    max_passive_perf = max(p.performance for p in space.region(P))
+    assert min_active_perf > max_passive_perf
+
+
+def test_regions_do_not_overlap():
+    space = DesignSpace.from_profile(small_profile())
+    assert not space.regions_overlap(A, P)
+
+
+def test_region_bounds():
+    space = DesignSpace.from_profile(small_profile())
+    bounds = space.region_bounds(A)
+    low, high = bounds["performance"]
+    assert 0.0 <= low <= high <= 1.0
+
+
+def test_region_bounds_unknown_style():
+    space = DesignSpace.from_profile(small_profile())
+    with pytest.raises(PolicyError):
+        space.region_bounds(ReplicationStyle.COLD_PASSIVE)
+
+
+def test_coverage_volume_positive_and_bounded():
+    space = DesignSpace.from_profile(small_profile())
+    assert 0.0 < space.coverage_volume() <= 1.0
+
+
+def test_empty_space_rejected():
+    with pytest.raises(PolicyError):
+        DesignSpace([])

@@ -1,0 +1,171 @@
+"""Tests for the low-level and high-level knobs against a live system."""
+
+import pytest
+
+from repro.core import (
+    AvailabilityKnob,
+    AvailabilityModel,
+    CheckpointIntervalKnob,
+    NumReplicasKnob,
+    ReplicationStyleKnob,
+    ScalabilityKnob,
+    ScalabilityPolicy,
+)
+from repro.errors import PolicyError
+from repro.experiments import Testbed, deploy_client, deploy_replica
+from repro.orb import CounterServant
+from repro.replication import (
+    ClientReplicationConfig,
+    ReplicaFactory,
+    ReplicationConfig,
+    ReplicationStyle,
+)
+from tests.core.test_policies import paper_profile
+from tests.replication.helpers import build_rig, call
+
+
+def _knob_rig(target=3, style=ReplicationStyle.ACTIVE, n_hosts=4, seed=0):
+    testbed = Testbed.paper_testbed(n_hosts, 1, seed=seed)
+    config = ReplicationConfig(style=style, group="svc")
+    spawned = []
+
+    def spawn(host):
+        replica = deploy_replica(testbed, host.name, config,
+                                 {"counter": CounterServant},
+                                 process_name=f"svc@{host.name}")
+        spawned.append(replica)
+        style_knob.add_replica(replica.replicator)
+        ckpt_knob.add_replica(replica.replicator)
+        return replica
+
+    manager = testbed.connect(testbed.spawn("w01", "mgr"))
+    hosts = [testbed.hosts[f"s{i:02d}"] for i in range(1, n_hosts + 1)]
+    factory = ReplicaFactory(manager, "svc", hosts, spawn, target=target,
+                             calibration=testbed.calibration.replication)
+    style_knob = ReplicationStyleKnob([])
+    ckpt_knob = CheckpointIntervalKnob([])
+    replicas_knob = NumReplicasKnob(factory)
+    client = deploy_client(testbed, "w01", ClientReplicationConfig(
+        group="svc", expected_style=style))
+    testbed.run(3_000_000)
+    return testbed, factory, style_knob, replicas_knob, ckpt_knob, client, spawned
+
+
+def test_style_knob_switches_live_system():
+    testbed, factory, style_knob, *_ , client, spawned = _knob_rig(
+        style=ReplicationStyle.WARM_PASSIVE)
+    assert style_knob.get() is ReplicationStyle.WARM_PASSIVE
+    style_knob.set(ReplicationStyle.ACTIVE)
+    testbed.run(2_000_000)
+    assert style_knob.get() is ReplicationStyle.ACTIVE
+    reply = call(testbed, client, "add", 4)
+    assert reply.payload == 4
+
+
+def test_style_knob_idempotent_set():
+    testbed, factory, style_knob, *_ = _knob_rig(
+        style=ReplicationStyle.ACTIVE)
+    style_knob.set(ReplicationStyle.ACTIVE)  # no-op, must not raise
+    assert style_knob.history == [ReplicationStyle.ACTIVE]
+
+
+def test_replicas_knob_drives_factory():
+    testbed, factory, style_knob, replicas_knob, *_ = _knob_rig(target=2)
+    assert replicas_knob.get() == 2
+    replicas_knob.set(4)
+    testbed.run(3_000_000)
+    assert factory.live_count == 4
+
+
+def test_checkpoint_knob_changes_interval():
+    testbed, factory, style_knob, replicas_knob, ckpt_knob, client, spawned = \
+        _knob_rig(style=ReplicationStyle.WARM_PASSIVE)
+    ckpt_knob.set(10)
+    assert ckpt_knob.get() == 10
+    primary = next(r for r in spawned if r.alive and
+                   r.replicator.is_primary)
+    before = primary.replicator.checkpoints_sent
+    for _ in range(5):
+        call(testbed, client, "add", 1)
+    assert primary.replicator.checkpoints_sent == before
+
+
+def test_scalability_knob_applies_table2_policy():
+    testbed, factory, style_knob, replicas_knob, ckpt_knob, client, _ = \
+        _knob_rig(target=2, style=ReplicationStyle.ACTIVE)
+    policy = ScalabilityPolicy.synthesize(paper_profile())
+    knob = ScalabilityKnob(policy, style_knob, replicas_knob)
+    knob.set(4)  # Table 2: P(3)
+    testbed.run(4_000_000)
+    assert knob.get() == 4
+    assert knob.last_entry.config.label == "P(3)"
+    assert factory.target == 3
+    assert style_knob.get() is ReplicationStyle.WARM_PASSIVE
+
+
+def test_scalability_knob_one_client_picks_active_three():
+    testbed, factory, style_knob, replicas_knob, ckpt_knob, client, _ = \
+        _knob_rig(target=2, style=ReplicationStyle.WARM_PASSIVE)
+    policy = ScalabilityPolicy.synthesize(paper_profile())
+    knob = ScalabilityKnob(policy, style_knob, replicas_knob)
+    knob.set(1)  # Table 2: A(3)
+    testbed.run(4_000_000)
+    assert factory.target == 3
+    assert style_knob.get() is ReplicationStyle.ACTIVE
+
+
+class TestAvailabilityModel:
+    def test_more_replicas_more_availability(self):
+        model = AvailabilityModel()
+        a1 = model.availability(ReplicationStyle.WARM_PASSIVE, 1)
+        a3 = model.availability(ReplicationStyle.WARM_PASSIVE, 3)
+        assert a3 <= 1.0
+        # With one replica a warm-passive crash still needs a respawn;
+        # the model treats n=1 as the degenerate single-copy case.
+        assert a1 <= a3 or a1 == a3
+
+    def test_active_beats_warm_beats_cold(self):
+        model = AvailabilityModel()
+        active = model.availability(ReplicationStyle.ACTIVE, 2)
+        warm = model.availability(ReplicationStyle.WARM_PASSIVE, 2)
+        cold = model.availability(ReplicationStyle.COLD_PASSIVE, 2)
+        assert active > warm > cold
+
+    def test_plan_picks_cheapest_meeting_target(self):
+        model = AvailabilityModel()
+        style_knob = ReplicationStyleKnob([])
+        knob = AvailabilityKnob(model, style_knob, None)
+        # A lax target is met by the cheapest candidate style.
+        style, n = knob.plan(0.9)
+        assert style is ReplicationStyle.COLD_PASSIVE
+        assert n == 1
+
+    def test_plan_escalates_for_strict_target(self):
+        model = AvailabilityModel()
+        knob = AvailabilityKnob(model, ReplicationStyleKnob([]), None)
+        lax_style, _ = knob.plan(0.99)
+        strict_style, _ = knob.plan(0.999999)
+        order = [ReplicationStyle.COLD_PASSIVE,
+                 ReplicationStyle.WARM_PASSIVE,
+                 ReplicationStyle.ACTIVE]
+        assert order.index(strict_style) >= order.index(lax_style)
+
+    def test_plan_invalid_target(self):
+        knob = AvailabilityKnob(AvailabilityModel(),
+                                ReplicationStyleKnob([]), None)
+        with pytest.raises(PolicyError):
+            knob.plan(1.5)
+
+
+def test_knob_history_recorded():
+    testbed, factory, style_knob, replicas_knob, *_ = _knob_rig(target=2)
+    replicas_knob.set(3)
+    replicas_knob.set(2)
+    assert replicas_knob.history == [3, 2]
+
+
+def test_style_knob_without_replicas_raises():
+    knob = ReplicationStyleKnob([])
+    assert knob.get() is None
+    with pytest.raises(PolicyError):
+        knob.set(ReplicationStyle.ACTIVE)

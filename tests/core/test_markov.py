@@ -1,0 +1,128 @@
+"""Tests for the CTMC availability model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.markov import (
+    RepairableGroupModel,
+    failover_window_for_style,
+    plan_redundancy,
+)
+from repro.errors import PolicyError
+from repro.replication import ReplicationStyle
+
+
+class TestSteadyState:
+    def test_distribution_sums_to_one(self):
+        model = RepairableGroupModel(n_replicas=3)
+        pi = model.steady_state()
+        assert len(pi) == 4
+        assert sum(pi) == pytest.approx(1.0)
+        assert all(p >= 0 for p in pi)
+
+    def test_full_service_dominates_with_fast_repair(self):
+        model = RepairableGroupModel(n_replicas=3, mttf_us=3.6e9,
+                                     mttr_us=5e6)
+        pi = model.steady_state()
+        assert pi[3] > 0.99
+        assert pi[0] < 1e-6
+
+    def test_single_replica_matches_mttf_mttr_formula(self):
+        """For n=1 the chain is the textbook two-state model:
+        availability = MTTF / (MTTF + MTTR)."""
+        mttf, mttr = 1e9, 1e7
+        model = RepairableGroupModel(n_replicas=1, mttf_us=mttf,
+                                     mttr_us=mttr, failover_us=0.0)
+        pi = model.steady_state()
+        assert pi[1] == pytest.approx(mttf / (mttf + mttr))
+        assert model.availability() == pytest.approx(
+            mttf / (mttf + mttr))
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.floats(min_value=1e6, max_value=1e10),
+           st.floats(min_value=1e3, max_value=1e8))
+    @settings(max_examples=50)
+    def test_valid_distribution_for_any_parameters(self, n, mttf, mttr):
+        model = RepairableGroupModel(n_replicas=n, mttf_us=mttf,
+                                     mttr_us=mttr)
+        pi = model.steady_state()
+        assert sum(pi) == pytest.approx(1.0)
+        assert all(0.0 <= p <= 1.0 for p in pi)
+
+
+class TestAvailability:
+    def test_more_replicas_higher_availability(self):
+        values = [RepairableGroupModel(n_replicas=n).availability()
+                  for n in (1, 2, 3)]
+        assert values[0] < values[1] <= values[2] <= 1.0
+
+    def test_smaller_failover_window_higher_availability(self):
+        fast = RepairableGroupModel(n_replicas=2, failover_us=1_000.0)
+        slow = RepairableGroupModel(n_replicas=2, failover_us=5e6)
+        assert fast.availability() > slow.availability()
+
+    def test_expected_live_replicas_near_n(self):
+        model = RepairableGroupModel(n_replicas=3)
+        expected = model.expected_live_replicas()
+        assert 2.99 < expected <= 3.0
+
+
+class TestMeanTimeToTotalFailure:
+    def test_grows_explosively_with_redundancy(self):
+        """Adding a replica multiplies the time to total failure by
+        roughly MTTF/MTTR — the whole point of redundancy."""
+        times = [RepairableGroupModel(
+            n_replicas=n).mean_time_to_total_failure_us()
+            for n in (1, 2, 3)]
+        assert times[0] < times[1] < times[2]
+        assert times[1] / times[0] > 100.0
+        assert times[2] / times[1] > 100.0
+
+    def test_single_replica_is_mttf(self):
+        model = RepairableGroupModel(n_replicas=1, mttf_us=7e8)
+        assert model.mean_time_to_total_failure_us() == pytest.approx(7e8)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20)
+    def test_positive_for_any_size(self, n):
+        model = RepairableGroupModel(n_replicas=n)
+        assert model.mean_time_to_total_failure_us() > 0
+
+
+class TestPlanning:
+    def test_style_windows_ordered(self):
+        active = failover_window_for_style(ReplicationStyle.ACTIVE)
+        warm = failover_window_for_style(ReplicationStyle.WARM_PASSIVE)
+        cold = failover_window_for_style(ReplicationStyle.COLD_PASSIVE)
+        assert active < warm < cold
+
+    def test_semi_active_fast_like_active(self):
+        assert failover_window_for_style(ReplicationStyle.SEMI_ACTIVE) \
+            == failover_window_for_style(ReplicationStyle.ACTIVE)
+
+    def test_plan_lax_target_one_replica(self):
+        assert plan_redundancy(0.9, ReplicationStyle.ACTIVE) == 1
+
+    def test_plan_strict_target_needs_more_replicas_for_cold(self):
+        cold_n = plan_redundancy(0.998, ReplicationStyle.COLD_PASSIVE)
+        active_n = plan_redundancy(0.998, ReplicationStyle.ACTIVE)
+        assert cold_n >= active_n
+
+    def test_plan_unreachable_raises(self):
+        with pytest.raises(PolicyError):
+            plan_redundancy(0.999999999, ReplicationStyle.COLD_PASSIVE,
+                            mttf_us=1e7, mttr_us=1e7, max_replicas=2)
+
+    def test_plan_validates_target(self):
+        with pytest.raises(PolicyError):
+            plan_redundancy(1.5, ReplicationStyle.ACTIVE)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(PolicyError):
+            RepairableGroupModel(n_replicas=0)
+        with pytest.raises(PolicyError):
+            RepairableGroupModel(n_replicas=1, mttf_us=0.0)
+        with pytest.raises(PolicyError):
+            RepairableGroupModel(n_replicas=1, failover_us=-1.0)

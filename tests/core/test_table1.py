@@ -1,0 +1,51 @@
+"""Tests for the Table 1 knob-mapping registry."""
+
+from repro.core import (
+    APPLICATION_PARAMETERS,
+    LOW_LEVEL_KNOBS,
+    TABLE_1,
+    validate_table,
+)
+
+
+def test_table_has_three_high_level_knobs():
+    assert set(TABLE_1) == {"scalability", "availability", "real_time"}
+
+
+def test_every_row_validates():
+    validate_table()
+
+
+def test_scalability_row_matches_paper():
+    row = TABLE_1["scalability"]
+    assert "replication_style" in row.low_level
+    assert "n_replicas" in row.low_level
+    assert "request_rate" in row.application_parameters
+    assert "resources" in row.application_parameters
+
+
+def test_availability_row_matches_paper():
+    row = TABLE_1["availability"]
+    assert "replication_style" in row.low_level
+    assert "checkpoint_interval" in row.low_level
+    assert "state_size" in row.application_parameters
+
+
+def test_real_time_row_uses_all_low_level_knobs():
+    row = TABLE_1["real_time"]
+    assert set(row.low_level) == set(LOW_LEVEL_KNOBS)
+
+
+def test_every_referenced_name_is_canonical():
+    for row in TABLE_1.values():
+        for knob in row.low_level:
+            assert knob in LOW_LEVEL_KNOBS
+        for parameter in row.application_parameters:
+            assert parameter in APPLICATION_PARAMETERS
+
+
+def test_replication_style_common_to_all_rows():
+    """The paper's central theme: the replication style low-level knob
+    underlies every high-level property."""
+    for row in TABLE_1.values():
+        assert "replication_style" in row.low_level

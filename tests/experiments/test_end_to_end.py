@@ -1,0 +1,113 @@
+"""End-to-end story tests: the full Section 4.3 procedure against a
+live system — profile, synthesize, tune, verify the prediction.
+"""
+
+import pytest
+
+from repro.core import (
+    Constraints,
+    CostFunction,
+    NumReplicasKnob,
+    ReplicationStyleKnob,
+    ScalabilityKnob,
+    ScalabilityPolicy,
+)
+from repro.experiments import (
+    Testbed,
+    build_profile,
+    deploy_client,
+    deploy_replica,
+    run_replicated_load,
+)
+from repro.orb import BusyServant
+from repro.replication import (
+    ClientReplicationConfig,
+    ReplicaFactory,
+    ReplicationConfig,
+    ReplicationStyle,
+)
+from repro.workload import ClosedLoopClient
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    """A cut-down Fig. 7 sweep (cheap enough for the unit suite)."""
+    profile, _ = build_profile(client_counts=(1, 3), replica_counts=(2, 3),
+                               n_requests=60, seed=0)
+    return profile
+
+
+def test_policy_prediction_matches_live_measurement(small_profile):
+    """The configuration the policy picks for 3 clients, deployed live
+    and loaded with 3 clients, actually behaves as the profile
+    predicted (within sampling tolerance)."""
+    policy = ScalabilityPolicy.synthesize(small_profile, Constraints(),
+                                          CostFunction())
+    entry = policy.best_configuration(3)
+    live = run_replicated_load(entry.config.style,
+                               entry.config.n_replicas, 3, 60, seed=1)
+    assert live.latency_mean_us == pytest.approx(entry.latency_us,
+                                                 rel=0.15)
+    assert live.bandwidth_mbps == pytest.approx(entry.bandwidth_mbps,
+                                                rel=0.15)
+    # The live run honours the constraints the policy promised.
+    assert live.latency_mean_us <= 7000.0
+    assert live.bandwidth_mbps <= 3.0
+
+
+def test_knob_driven_reconfiguration_end_to_end(small_profile):
+    """Drive a deployed service through the scalability knob and keep
+    invoking across the reconfiguration: no request is lost and the
+    final configuration matches the policy."""
+    policy = ScalabilityPolicy.synthesize(small_profile, Constraints(),
+                                          CostFunction())
+    testbed = Testbed.paper_testbed(4, 1, seed=2)
+    config = ReplicationConfig(style=ReplicationStyle.ACTIVE, group="svc")
+    style_knob = ReplicationStyleKnob([])
+
+    def spawn(host):
+        replica = deploy_replica(
+            testbed, host.name, config,
+            {"bench": lambda: BusyServant(processing_us=15,
+                                          reply_bytes=128)},
+            process_name=f"svc@{host.name}")
+        style_knob.add_replica(replica.replicator)
+        return replica
+
+    manager = testbed.connect(testbed.spawn("w01", "mgr"))
+    hosts = [testbed.hosts[f"s{i:02d}"] for i in range(1, 5)]
+    factory = ReplicaFactory(manager, "svc", hosts, spawn, target=2,
+                             calibration=testbed.calibration.replication)
+    client = deploy_client(testbed, "w01",
+                           ClientReplicationConfig(group="svc"))
+    knob = ScalabilityKnob(policy, style_knob, NumReplicasKnob(factory))
+    testbed.run(3_000_000)
+
+    # Load continuously while the knob reconfigures for 3 clients.
+    loader = ClosedLoopClient(client, 40, object_key="bench",
+                              payload_bytes=128)
+    loader.start()
+    testbed.run(10_000)
+    knob.set(3)
+    while not loader.done:
+        testbed.run(500_000)
+    testbed.run(4_000_000)
+
+    assert loader.stats.completed == 40
+    expected = policy.best_configuration(3).config
+    assert style_knob.get() is expected.style
+    assert factory.live_count == expected.n_replicas
+
+
+def test_full_run_is_reproducible_end_to_end():
+    """Two identical end-to-end runs (profile + policy) are
+    bit-identical — the determinism requirement, system-wide."""
+    def run_once():
+        profile, _ = build_profile(client_counts=(1,),
+                                   replica_counts=(2,),
+                                   n_requests=25, seed=11)
+        policy = ScalabilityPolicy.synthesize(profile)
+        return [(e.n_clients, e.config.label, e.latency_us,
+                 e.bandwidth_mbps, e.cost) for e in policy.table()]
+
+    assert run_once() == run_once()

@@ -1,0 +1,65 @@
+"""Golden-numbers regression net.
+
+``golden.json`` snapshots the calibrated substrate's Fig. 3 breakdown
+and a cut of the Fig. 7 sweep.  These tests re-measure and compare
+within ±10 %: loose enough to survive benign refactors, tight enough
+to catch accidental calibration drift (which would silently bend every
+benchmark's absolute numbers).
+
+Regenerate after an *intentional* calibration change with::
+
+    python - <<'PY'
+    # (see the generation snippet in the repository history, or simply
+    # re-run the block in tests/experiments/test_golden.py's docstring
+    # with the new calibration)
+    PY
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.measurements import ConfigPoint
+from repro.experiments import build_profile, run_rtt_breakdown
+from repro.replication import ReplicationStyle
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden.json").read_text())
+
+TOLERANCE = 0.10
+
+
+@pytest.fixture(scope="module")
+def measured_profile():
+    profile, _ = build_profile(client_counts=(1, 3, 5),
+                               replica_counts=(2, 3),
+                               n_requests=60, seed=0)
+    return profile
+
+
+def test_breakdown_matches_golden():
+    breakdown = run_rtt_breakdown(n_requests=200, seed=0)
+    for component, golden_value in GOLDEN["breakdown"].items():
+        assert breakdown[component] == pytest.approx(
+            golden_value, rel=TOLERANCE), component
+
+
+def test_profile_matches_golden(measured_profile):
+    for row in GOLDEN["profile"]:
+        config = ConfigPoint(style=ReplicationStyle(row["style"]),
+                             n_replicas=row["n_replicas"])
+        measurement = measured_profile.get(config, row["n_clients"])
+        assert measurement is not None, row
+        label = f"{config.label}@{row['n_clients']}cli"
+        assert measurement.latency_us == pytest.approx(
+            row["latency_us"], rel=TOLERANCE), f"latency {label}"
+        assert measurement.bandwidth_mbps == pytest.approx(
+            row["bandwidth_mbps"], rel=TOLERANCE), f"bandwidth {label}"
+
+
+def test_golden_file_covers_expected_grid():
+    rows = GOLDEN["profile"]
+    assert len(rows) == 12  # 2 styles x 2 replica counts x 3 loads
+    assert set(GOLDEN["breakdown"]) == {
+        "application", "orb", "group_communication", "replicator"}

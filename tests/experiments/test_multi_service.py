@@ -1,0 +1,112 @@
+"""Multiple replicated services sharing one GCS substrate.
+
+The paper's architecture allows "selecting a different replication
+style for each CORBA process": several replica groups coexist on the
+same daemons, with independent styles, switches and failures.
+"""
+
+import pytest
+
+from repro.experiments import (
+    Testbed,
+    deploy_client,
+    deploy_replica_group,
+)
+from repro.orb import CounterServant, KeyValueServant, marshalled_size
+from repro.replication import (
+    ClientReplicationConfig,
+    ReplicationConfig,
+    ReplicationStyle,
+)
+
+FAILOVER_US = 1_500_000
+
+
+@pytest.fixture
+def two_services():
+    testbed = Testbed.paper_testbed(3, 1, seed=17)
+    counter_cfg = ReplicationConfig(style=ReplicationStyle.ACTIVE,
+                                    group="counter-svc")
+    kv_cfg = ReplicationConfig(style=ReplicationStyle.WARM_PASSIVE,
+                               group="kv-svc")
+    counters = deploy_replica_group(testbed, ["s01", "s02", "s03"],
+                                    counter_cfg,
+                                    {"counter": CounterServant})
+    kvs = deploy_replica_group(testbed, ["s01", "s02", "s03"], kv_cfg,
+                               {"kv": KeyValueServant})
+    counter_client = deploy_client(
+        testbed, "w01", ClientReplicationConfig(
+            group="counter-svc",
+            expected_style=ReplicationStyle.ACTIVE),
+        process_name="counter-client")
+    kv_client = deploy_client(
+        testbed, "w01", ClientReplicationConfig(
+            group="kv-svc",
+            expected_style=ReplicationStyle.WARM_PASSIVE),
+        process_name="kv-client")
+    testbed.run(150_000)
+    return testbed, counters, kvs, counter_client, kv_client
+
+
+def _call(testbed, client, key, op, payload, timeout=2_000_000):
+    replies = []
+    client.orb_client.invoke(key, op, payload, marshalled_size(payload),
+                             replies.append)
+    testbed.run(timeout)
+    assert replies
+    return replies[0]
+
+
+def test_styles_are_independent_per_service(two_services):
+    testbed, counters, kvs, counter_client, kv_client = two_services
+    assert counters[0].replicator.style is ReplicationStyle.ACTIVE
+    assert kvs[0].replicator.style is ReplicationStyle.WARM_PASSIVE
+
+
+def test_both_services_answer(two_services):
+    testbed, counters, kvs, counter_client, kv_client = two_services
+    assert _call(testbed, counter_client, "counter", "add", 4).payload == 4
+    assert _call(testbed, kv_client, "kv", "put",
+                 ("k", "v")).payload == "ok"
+    assert _call(testbed, kv_client, "kv", "get", "k").payload == "v"
+
+
+def test_switching_one_service_leaves_the_other(two_services):
+    testbed, counters, kvs, counter_client, kv_client = two_services
+    kvs[0].replicator.request_switch(ReplicationStyle.ACTIVE)
+    testbed.run(1_500_000)
+    assert all(r.replicator.style is ReplicationStyle.ACTIVE for r in kvs)
+    assert all(r.replicator.style is ReplicationStyle.ACTIVE
+               for r in counters)  # was active already, untouched
+    assert counters[0].replicator.switch_history == []
+    assert len(kvs[0].replicator.switch_history) == 1
+
+
+def test_crash_of_one_services_replica_is_isolated(two_services):
+    """Killing one service's replica process must not disturb the
+    other service's group (they share hosts and daemons)."""
+    testbed, counters, kvs, counter_client, kv_client = two_services
+    kvs[0].crash()  # kv primary dies; counter replica on s01 lives
+    testbed.run(FAILOVER_US)
+    assert counters[0].alive
+    assert _call(testbed, counter_client, "counter", "add",
+                 1).payload == 1
+    reply = _call(testbed, kv_client, "kv", "put", ("x", 1),
+                  timeout=2 * FAILOVER_US)
+    assert reply.payload == "ok"
+    assert len(counters[0].replicator.view.members) == 3
+    live_kv_views = [r.replicator.view.members for r in kvs if r.alive]
+    assert all(len(v) == 2 for v in live_kv_views)
+
+
+def test_host_crash_hits_both_services_consistently(two_services):
+    testbed, counters, kvs, counter_client, kv_client = two_services
+    testbed.hosts["s02"].crash()
+    testbed.run(2 * FAILOVER_US)
+    assert _call(testbed, counter_client, "counter", "add", 2,
+                 timeout=FAILOVER_US).payload == 2
+    assert _call(testbed, kv_client, "kv", "put", ("y", 9),
+                 timeout=2 * FAILOVER_US).payload == "ok"
+    for group in (counters, kvs):
+        live = [r for r in group if r.alive]
+        assert all(len(r.replicator.view.members) == 2 for r in live)

@@ -1,0 +1,109 @@
+"""Tests for the SAFE delivery grade (Spread's strongest guarantee)."""
+
+import pytest
+
+from repro.gcs import Grade
+from repro.net import BurstLoss
+from tests.support import Cluster, RecordingListener
+
+FAILOVER_US = 1_500_000
+
+
+def _rig(hosts=("h1", "h2", "h3"), seed=0):
+    cluster = Cluster(list(hosts), seed=seed)
+    clients, listeners = [], []
+    for i, host in enumerate(hosts):
+        _, c = cluster.client(host, f"m{i}")
+        listener = RecordingListener()
+        c.join("grp", listener)
+        clients.append(c)
+        listeners.append(listener)
+    cluster.run(80_000)
+    return cluster, clients, listeners
+
+
+def test_safe_message_delivered_to_all():
+    cluster, clients, listeners = _rig()
+    clients[0].multicast("grp", "precious", nbytes=64, grade=Grade.SAFE)
+    cluster.run(200_000)
+    for listener in listeners:
+        assert listener.payloads == ["precious"]
+
+
+def test_safe_slower_than_agreed():
+    """SAFE pays an extra ack round before delivery."""
+    def first_delivery_time(grade):
+        cluster, clients, listeners = _rig()
+        start = cluster.sim.now
+        clients[0].multicast("grp", "probe", nbytes=64, grade=grade)
+        while not listeners[2].payloads:
+            cluster.run(100)
+        return cluster.sim.now - start
+
+    agreed = first_delivery_time(Grade.AGREED)
+    safe = first_delivery_time(Grade.SAFE)
+    # At least one extra network round trip (ack to sequencer +
+    # release back).
+    assert safe > agreed + 200.0
+
+
+def test_safe_total_order_with_agreed_interleaving():
+    """SAFE and AGREED messages to the same group are delivered in
+    one consistent total order at every member."""
+    cluster, clients, listeners = _rig()
+    for i in range(6):
+        grade = Grade.SAFE if i % 2 == 0 else Grade.AGREED
+        clients[i % 3].multicast("grp", f"m{i}", nbytes=32, grade=grade)
+    cluster.run(2_000_000)
+    sequences = [listener.payloads for listener in listeners]
+    assert len(sequences[0]) == 6
+    assert sequences[0] == sequences[1] == sequences[2]
+
+
+def test_safe_survives_loss():
+    cluster, clients, listeners = _rig(seed=5)
+    start = cluster.sim.now
+    cluster.network.add_loss_model(BurstLoss(start, start + 100_000,
+                                             rate=0.5))
+    for i in range(5):
+        clients[0].multicast("grp", i, nbytes=32, grade=Grade.SAFE)
+    cluster.run(5_000_000)
+    for listener in listeners:
+        assert listener.payloads == [0, 1, 2, 3, 4]
+
+
+def test_safe_held_messages_released_on_view_change():
+    """A member daemon crashing mid-protocol must not strand held
+    SAFE messages: survivors deliver them at the view change."""
+    cluster, clients, listeners = _rig(hosts=("h1", "h2", "h3", "h4"),
+                                       seed=7)
+    # Crash h4 and immediately send SAFE traffic: acks from h4 will
+    # never arrive, so release only happens via the view change.
+    cluster.hosts["h4"].crash()
+    for i in range(3):
+        clients[0].multicast("grp", f"s{i}", nbytes=32, grade=Grade.SAFE)
+    cluster.run(3 * FAILOVER_US)
+    for listener in listeners[:3]:
+        assert listener.payloads == ["s0", "s1", "s2"]
+
+
+def test_safe_sequencer_crash_mid_protocol():
+    cluster, clients, listeners = _rig(seed=9)
+    clients[1].multicast("grp", "survives", nbytes=32, grade=Grade.SAFE)
+    cluster.hosts["h1"].crash()  # sequencer dies
+    cluster.run(3 * FAILOVER_US)
+    # The survivors deliver the message exactly once.
+    assert listeners[1].payloads.count("survives") == 1
+    assert listeners[2].payloads.count("survives") == 1
+
+
+def test_safe_from_non_member():
+    cluster = Cluster(["h1", "h2"])
+    _, server = cluster.client("h1", "server")
+    _, outsider = cluster.client("h2", "client")
+    listener = RecordingListener()
+    server.join("grp", listener)
+    cluster.run(80_000)
+    outsider.multicast("grp", "open-safe", nbytes=32, grade=Grade.SAFE)
+    cluster.run(300_000)
+    assert listener.payloads == ["open-safe"]

@@ -1,0 +1,141 @@
+"""Unit and property-based tests for vector clocks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gcs import VectorClock
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+clocks = st.dictionaries(keys, st.integers(min_value=0, max_value=10))
+
+
+def test_empty_clock_reads_zero():
+    vc = VectorClock()
+    assert vc.get("anything") == 0
+
+
+def test_tick_increments():
+    vc = VectorClock()
+    vc.tick("a").tick("a").tick("b")
+    assert vc.get("a") == 2 and vc.get("b") == 1
+
+
+def test_negative_entries_rejected():
+    with pytest.raises(ValueError):
+        VectorClock({"a": -1})
+
+
+def test_merge_is_pointwise_max():
+    vc = VectorClock({"a": 1, "b": 5})
+    vc.merge({"a": 3, "c": 2})
+    assert vc.snapshot() == {"a": 3, "b": 5, "c": 2}
+
+
+def test_happened_before():
+    earlier = VectorClock({"a": 1})
+    later = VectorClock({"a": 2, "b": 1})
+    assert earlier.happened_before(later)
+    assert not later.happened_before(earlier)
+
+
+def test_concurrent():
+    x = VectorClock({"a": 1})
+    y = VectorClock({"b": 1})
+    assert x.concurrent_with(y)
+    assert y.concurrent_with(x)
+
+
+def test_equal_clocks_not_concurrent_not_before():
+    x = VectorClock({"a": 1})
+    y = VectorClock({"a": 1})
+    assert not x.happened_before(y)
+    assert not x.concurrent_with(y)
+    assert x == y
+
+
+def test_can_deliver_next_from_sender():
+    local = VectorClock({"a": 1})
+    assert local.can_deliver({"a": 2}, sender="a")
+    assert not local.can_deliver({"a": 3}, sender="a")
+
+
+def test_cannot_deliver_with_missing_dependency():
+    local = VectorClock()
+    # Message from b that has seen a:1 we have not seen.
+    assert not local.can_deliver({"b": 1, "a": 1}, sender="b")
+
+
+def test_deliver_advances_only_sender_entry():
+    local = VectorClock({"a": 1, "b": 2})
+    local.deliver({"a": 2, "b": 2}, sender="a")
+    assert local.snapshot() == {"a": 2, "b": 2}
+
+
+def test_deliver_undeliverable_raises():
+    local = VectorClock()
+    with pytest.raises(ValueError):
+        local.deliver({"a": 5}, sender="a")
+
+
+def test_repr_is_sorted_and_stable():
+    assert repr(VectorClock({"b": 2, "a": 1})) == "<VC a:1, b:2>"
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+@given(clocks)
+def test_merge_idempotent(counters):
+    vc = VectorClock(counters)
+    before = vc.snapshot()
+    vc.merge(counters)
+    assert vc.snapshot() == before
+
+
+@given(clocks, clocks)
+def test_merge_commutative(x, y):
+    a = VectorClock(x).merge(y).snapshot()
+    b = VectorClock(y).merge(x).snapshot()
+    assert VectorClock(a).same_as(b)
+
+
+@given(clocks, clocks, clocks)
+def test_merge_associative(x, y, z):
+    a = VectorClock(x).merge(VectorClock(y).merge(z).snapshot())
+    b = VectorClock(VectorClock(x).merge(y).snapshot()).merge(z)
+    assert a.same_as(b.snapshot())
+
+
+@given(clocks, clocks)
+def test_merge_dominates_both(x, y):
+    merged = VectorClock(x).merge(y)
+    assert merged.dominates(x)
+    assert merged.dominates(y)
+
+
+@given(clocks, clocks)
+def test_order_trichotomy(x, y):
+    a, b = VectorClock(x), VectorClock(y)
+    relations = [a.happened_before(b), b.happened_before(a),
+                 a.concurrent_with(b), a.same_as(y)]
+    assert sum(relations) == 1
+
+
+@given(clocks, keys)
+def test_tick_strictly_advances(counters, key):
+    before = VectorClock(counters)
+    after = VectorClock(counters).tick(key)
+    assert before.happened_before(after)
+
+
+@given(clocks, keys)
+def test_sender_sequence_delivery(counters, sender):
+    """A sender's (n+1)-th message is deliverable at a receiver that
+    has exactly the sender's previous messages and all dependencies."""
+    local = VectorClock(counters)
+    stamp = dict(counters)
+    stamp[sender] = local.get(sender) + 1
+    assert local.can_deliver(stamp, sender)
+    local.deliver(stamp, sender)
+    assert not local.can_deliver(stamp, sender)  # no double delivery

@@ -1,0 +1,100 @@
+"""Tests for metric sensors and the metrics hub."""
+
+import pytest
+
+from repro.monitoring import (
+    Contract,
+    ContractMonitor,
+    ContractStatus,
+    CpuSensor,
+    LatencySensor,
+    MetricsHub,
+    MetricsSnapshot,
+    RateSensor,
+)
+from repro.net import Network
+from repro.sim import Host, Simulator
+
+
+def test_latency_sensor_mean_and_jitter():
+    sensor = LatencySensor(window_us=1e9)
+    for v in (100.0, 200.0, 300.0):
+        sensor.record(0.0, v)
+    assert sensor.mean(0.0) == pytest.approx(200.0)
+    assert sensor.jitter(0.0) > 0
+
+
+def test_rate_sensor():
+    sensor = RateSensor(window_us=1_000_000.0)
+    for i in range(100):
+        sensor.record_arrival(i * 10_000.0)
+    assert sensor.rate(990_000.0) == pytest.approx(101.0, rel=0.02)
+
+
+def test_cpu_sensor_tracks_busy_fraction():
+    sim = Simulator()
+    host = Host(sim, "h")
+    sensor = CpuSensor(host.cpu)
+    host.cpu.execute(500.0, lambda: None)
+    sim.run(until=1000.0)
+    util = sensor.sample(1000.0)
+    assert util == pytest.approx(0.5, abs=0.05)
+
+
+def test_metrics_hub_snapshot():
+    sim = Simulator()
+    net = Network(sim)
+    host = net.add_host("h")
+    hub = MetricsHub(sim, network_stats=net.stats, cpu=host.cpu)
+    hub.record_request()
+    hub.record_latency(123.0)
+    snap = hub.snapshot()
+    assert isinstance(snap, MetricsSnapshot)
+    assert snap.latency_mean_us == pytest.approx(123.0)
+    assert snap.request_rate_per_s > 0
+    assert "latency_mean_us" in snap.as_dict()
+
+
+class TestContracts:
+    def _snap(self, latency):
+        return MetricsSnapshot(time=0.0, latency_mean_us=latency)
+
+    def test_honoured_warning_violated(self):
+        contract = Contract("lat", "latency_mean_us", limit=1000.0,
+                            warning_fraction=0.8)
+        assert contract.evaluate(self._snap(500)) is ContractStatus.HONOURED
+        assert contract.evaluate(self._snap(900)) is ContractStatus.WARNING
+        assert contract.evaluate(self._snap(1500)) is ContractStatus.VIOLATED
+
+    def test_monitor_emits_transitions_only(self):
+        monitor = ContractMonitor([
+            Contract("lat", "latency_mean_us", limit=1000.0)])
+        events = []
+        monitor.subscribe(events.append)
+        monitor.evaluate(self._snap(100))   # honoured (no transition)
+        monitor.evaluate(self._snap(2000))  # -> violated
+        monitor.evaluate(self._snap(2100))  # still violated (no event)
+        monitor.evaluate(self._snap(100))   # -> honoured
+        assert [e.status for e in events] == [
+            ContractStatus.VIOLATED, ContractStatus.HONOURED]
+
+    def test_all_honoured_property(self):
+        monitor = ContractMonitor([
+            Contract("lat", "latency_mean_us", limit=1000.0)])
+        monitor.evaluate(self._snap(100))
+        assert monitor.all_honoured
+        monitor.evaluate(self._snap(5000))
+        assert not monitor.all_honoured
+
+    def test_duplicate_contract_name_rejected(self):
+        monitor = ContractMonitor([
+            Contract("lat", "latency_mean_us", limit=1000.0)])
+        with pytest.raises(ValueError):
+            monitor.add(Contract("lat", "latency_mean_us", limit=2000.0))
+
+    def test_invalid_contract_params(self):
+        with pytest.raises(ValueError):
+            Contract("x", "latency_mean_us", limit=0.0)
+        with pytest.raises(ValueError):
+            Contract("x", "latency_mean_us", limit=10.0,
+                     warning_fraction=0.0)

@@ -1,0 +1,110 @@
+"""Unit tests for per-request latency attribution."""
+
+import pytest
+
+from repro.orb import RequestTimeline, average_timelines
+from repro.orb.accounting import (
+    COMPONENT_GCS,
+    COMPONENT_ORB,
+    COMPONENT_REPLICATOR,
+)
+
+
+def test_add_accumulates_per_component():
+    t = RequestTimeline()
+    t.add(COMPONENT_ORB, 100.0)
+    t.add(COMPONENT_ORB, 50.0)
+    t.add(COMPONENT_GCS, 10.0)
+    assert t.get(COMPONENT_ORB) == 150.0
+    assert t.get(COMPONENT_GCS) == 10.0
+    assert t.total() == 160.0
+
+
+def test_negative_contribution_rejected():
+    with pytest.raises(ValueError):
+        RequestTimeline().add(COMPONENT_ORB, -1.0)
+
+
+def test_unknown_component_reads_zero():
+    assert RequestTimeline().get("nothing") == 0.0
+
+
+def test_transit_attribution():
+    t = RequestTimeline()
+    t.mark_handoff(100.0)
+    t.absorb_transit(COMPONENT_GCS, 350.0)
+    assert t.get(COMPONENT_GCS) == 250.0
+
+
+def test_absorb_without_handoff_is_noop():
+    t = RequestTimeline()
+    t.absorb_transit(COMPONENT_GCS, 500.0)
+    assert t.get(COMPONENT_GCS) == 0.0
+
+
+def test_handoff_consumed_once():
+    t = RequestTimeline()
+    t.mark_handoff(0.0)
+    t.absorb_transit(COMPONENT_GCS, 100.0)
+    t.absorb_transit(COMPONENT_GCS, 300.0)  # no second handoff
+    assert t.get(COMPONENT_GCS) == 100.0
+
+
+def test_clock_skew_clamped_to_zero():
+    t = RequestTimeline()
+    t.mark_handoff(100.0)
+    t.absorb_transit(COMPONENT_GCS, 50.0)  # earlier than handoff
+    assert t.get(COMPONENT_GCS) == 0.0
+
+
+def test_fork_is_independent():
+    original = RequestTimeline()
+    original.add(COMPONENT_ORB, 100.0)
+    original.started_at = 5.0
+    twin = original.fork()
+    twin.add(COMPONENT_ORB, 42.0)
+    assert original.get(COMPONENT_ORB) == 100.0
+    assert twin.get(COMPONENT_ORB) == 142.0
+    assert twin.started_at == 5.0
+
+
+def test_fork_carries_pending_handoff():
+    original = RequestTimeline()
+    original.mark_handoff(10.0)
+    twin = original.fork()
+    twin.absorb_transit(COMPONENT_GCS, 60.0)
+    assert twin.get(COMPONENT_GCS) == 50.0
+
+
+def test_merge_from():
+    a = RequestTimeline()
+    a.add(COMPONENT_ORB, 10.0)
+    b = RequestTimeline()
+    b.add(COMPONENT_ORB, 5.0)
+    b.add(COMPONENT_REPLICATOR, 7.0)
+    a.merge_from(b)
+    assert a.get(COMPONENT_ORB) == 15.0
+    assert a.get(COMPONENT_REPLICATOR) == 7.0
+
+
+def test_average_timelines():
+    def tl(orb, gcs):
+        t = RequestTimeline()
+        t.add(COMPONENT_ORB, orb)
+        t.add(COMPONENT_GCS, gcs)
+        return t
+
+    averaged = average_timelines([tl(100, 10), tl(200, 30)])
+    assert averaged[COMPONENT_ORB] == pytest.approx(150.0)
+    assert averaged[COMPONENT_GCS] == pytest.approx(20.0)
+
+
+def test_average_of_nothing_is_empty():
+    assert average_timelines([]) == {}
+
+
+def test_repr_sorted():
+    t = RequestTimeline()
+    t.add("b", 2.0)
+    t.add("a", 1.0)
+    assert repr(t) == "<Timeline a=1us, b=2us>"

@@ -1,0 +1,72 @@
+"""Shared builders for replication tests."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.testbed import (
+    ClientStack,
+    Replica,
+    Testbed,
+    deploy_client,
+    deploy_replica_group,
+)
+from repro.orb import CounterServant, Servant
+from repro.replication import (
+    ClientReplicationConfig,
+    ReplicationConfig,
+    ReplicationStyle,
+)
+
+#: Long enough for heartbeat-based failure detection + flush.
+FAILOVER_US = 1_500_000
+
+
+def build_rig(style: ReplicationStyle, n_replicas: int = 3,
+              n_clients: int = 1, seed: int = 0,
+              servant_factory: Optional[Callable[[], Servant]] = None,
+              broadcast_requests: bool = False,
+              checkpoint_interval: int = 1,
+              voting: bool = False,
+              sync_checkpoints: bool = True):
+    """Standard rig: N replicas + M clients on the paper's testbed."""
+    testbed = Testbed.paper_testbed(max(n_replicas, 1), max(n_clients, 1),
+                                    seed=seed)
+    config = ReplicationConfig(
+        style=style, group="svc",
+        checkpoint_interval_requests=checkpoint_interval,
+        broadcast_requests=broadcast_requests)
+    servants = {"counter": servant_factory or CounterServant}
+    replicas = deploy_replica_group(
+        testbed, [f"s{i:02d}" for i in range(1, n_replicas + 1)],
+        config, servants, sync_checkpoints=sync_checkpoints)
+    clients = [
+        deploy_client(testbed, f"w{i:02d}", ClientReplicationConfig(
+            group="svc", expected_style=style, voting=voting))
+        for i in range(1, n_clients + 1)
+    ]
+    testbed.run(100_000)
+    return testbed, replicas, clients
+
+
+def call(testbed: Testbed, client: ClientStack, operation: str,
+         payload, nbytes: int = 32, timeout_us: float = 2_000_000):
+    """Synchronous-style invocation helper."""
+    replies: List = []
+    client.orb_client.invoke("counter", operation, payload, nbytes,
+                             replies.append)
+    testbed.run(timeout_us)
+    assert replies, f"no reply for {operation}({payload})"
+    return replies[0]
+
+
+def fire(client: ClientStack, operation: str, payload, nbytes: int = 32):
+    """Asynchronous invocation; returns the reply list to inspect later."""
+    replies: List = []
+    client.orb_client.invoke("counter", operation, payload, nbytes,
+                             replies.append)
+    return replies
+
+
+def counter_values(replicas: List[Replica]) -> List[int]:
+    return [r.servants["counter"].value for r in replicas if r.alive]

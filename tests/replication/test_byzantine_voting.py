@@ -1,0 +1,105 @@
+"""Client-side majority voting masking a faulty replica.
+
+Section 3.1: with active replication the client "can do majority
+voting on all the responses it receives, if Byzantine failures can
+occur".  These tests plant one value-faulty replica among three and
+show that first-response mode can surface the wrong answer while
+voting masks it.
+"""
+
+import pytest
+
+from repro.experiments import Testbed, deploy_client, deploy_replica
+from repro.orb import CounterServant, Servant, ServantResult
+from repro.replication import (
+    ClientReplicationConfig,
+    ReplicationConfig,
+    ReplicationStyle,
+)
+
+
+class LyingCounterServant(CounterServant):
+    """A value-faulty servant: computes correct state but returns a
+    corrupted result (a Byzantine *value* fault, not a crash)."""
+
+    def dispatch(self, operation, payload) -> ServantResult:
+        honest = super().dispatch(operation, payload)
+        return ServantResult(payload=honest.payload + 1_000_000,
+                             payload_bytes=honest.payload_bytes,
+                             processing_us=honest.processing_us)
+
+
+def _byzantine_rig(voting: bool, liar_first: bool, seed=0):
+    testbed = Testbed.paper_testbed(3, 1, seed=seed)
+    config = ReplicationConfig(style=ReplicationStyle.ACTIVE, group="svc")
+    replicas = []
+    for index, host in enumerate(["s01", "s02", "s03"]):
+        liar = (index == 0) if liar_first else (index == 2)
+        servant = (LyingCounterServant if liar else CounterServant)
+        replicas.append(deploy_replica(
+            testbed, host, config, {"counter": servant},
+            process_name=f"svc-r{index + 1}"))
+        testbed.run(30_000)
+    client = deploy_client(testbed, "w01", ClientReplicationConfig(
+        group="svc", expected_style=ReplicationStyle.ACTIVE,
+        voting=voting))
+    testbed.run(100_000)
+    return testbed, replicas, client
+
+
+def _invoke(testbed, client, payload=5):
+    replies = []
+    client.orb_client.invoke("counter", "add", payload, 32, replies.append)
+    testbed.run(2_000_000)
+    assert replies
+    return replies[0]
+
+
+def test_first_response_can_surface_the_lie():
+    """The liar sits on s01 — colocated with the sequencer, so its
+    reply tends to arrive first.  Without voting the client may accept
+    the corrupted answer."""
+    testbed, replicas, client = _byzantine_rig(voting=False,
+                                               liar_first=True)
+    reply = _invoke(testbed, client)
+    assert reply.payload == 1_000_005  # the lie got through
+
+
+def test_voting_masks_one_faulty_replica():
+    testbed, replicas, client = _byzantine_rig(voting=True,
+                                               liar_first=True)
+    reply = _invoke(testbed, client)
+    assert reply.payload == 5  # 2-of-3 honest majority wins
+
+
+def test_voting_masks_regardless_of_liar_position():
+    testbed, replicas, client = _byzantine_rig(voting=True,
+                                               liar_first=False)
+    reply = _invoke(testbed, client)
+    assert reply.payload == 5
+
+
+def test_voting_sequence_of_requests_all_masked():
+    testbed, replicas, client = _byzantine_rig(voting=True,
+                                               liar_first=True)
+    for expected in (1, 2, 3, 4):
+        reply = _invoke(testbed, client, payload=1)
+        assert reply.payload == expected
+
+
+def test_voting_still_works_after_honest_replica_crash():
+    """With the liar and one honest replica left, 2-of-2 agreement is
+    impossible on corrupted values; the client keeps retrying and the
+    remaining honest replica + liar never form a majority for the lie.
+    (With n=2 the vote needs both replies to match, so the lie can
+    never be accepted.)"""
+    testbed, replicas, client = _byzantine_rig(voting=True,
+                                               liar_first=True, seed=3)
+    replicas[1].crash()  # kill one honest replica
+    testbed.run(200_000)
+    replies = []
+    client.orb_client.invoke("counter", "add", 5, 32, replies.append)
+    testbed.run(3_000_000)
+    if replies:
+        # If anything was accepted, it must be the honest value.
+        assert replies[0].payload == 5

@@ -1,0 +1,101 @@
+"""Deeper tests for the hybrid replication style (active head + warm
+tail — the Bakken et al. extension)."""
+
+import pytest
+
+from repro.experiments import (
+    Testbed,
+    deploy_client,
+    deploy_replica_group,
+)
+from repro.orb import CounterServant
+from repro.replication import (
+    ClientReplicationConfig,
+    ReplicationConfig,
+    ReplicationStyle,
+)
+from tests.replication.helpers import FAILOVER_US, call, counter_values
+
+
+def _hybrid_rig(active_head=2, n_replicas=4, seed=0):
+    testbed = Testbed.paper_testbed(n_replicas, 1, seed=seed)
+    config = ReplicationConfig(style=ReplicationStyle.HYBRID, group="svc",
+                               active_head=active_head)
+    replicas = deploy_replica_group(
+        testbed, [f"s{i:02d}" for i in range(1, n_replicas + 1)],
+        config, {"counter": CounterServant})
+    client = deploy_client(testbed, "w01", ClientReplicationConfig(
+        group="svc", expected_style=ReplicationStyle.HYBRID))
+    testbed.run(100_000)
+    return testbed, replicas, client
+
+
+def test_head_size_respected():
+    testbed, replicas, client = _hybrid_rig(active_head=2, n_replicas=4)
+    call(testbed, client, "add", 5)
+    testbed.run(500_000)
+    processed = [r.replicator.requests_processed for r in replicas]
+    assert processed[0] >= 1 and processed[1] >= 1
+    assert processed[2] == 0 and processed[3] == 0
+
+
+def test_tail_tracks_state_via_checkpoints():
+    testbed, replicas, client = _hybrid_rig(active_head=2, n_replicas=4)
+    call(testbed, client, "add", 7)
+    testbed.run(1_000_000)
+    # The head's oldest member checkpoints; the tail applies.
+    assert counter_values(replicas) == [7, 7, 7, 7]
+
+
+def test_head_member_crash_promotes_tail_member():
+    """When a head member dies, the join-order rank shifts: the first
+    tail member moves into the head and starts executing."""
+    testbed, replicas, client = _hybrid_rig(active_head=2, n_replicas=4,
+                                            seed=5)
+    call(testbed, client, "add", 3)
+    testbed.run(500_000)
+    replicas[0].crash()
+    testbed.run(300_000)
+    reply = call(testbed, client, "add", 2, timeout_us=FAILOVER_US)
+    assert reply.payload == 5
+    testbed.run(1_000_000)
+    # replicas[2] (formerly first tail member) is now in the head.
+    assert replicas[1].replicator.processes_requests
+    assert replicas[2].replicator.processes_requests
+    assert not replicas[3].replicator.processes_requests
+
+
+def test_whole_head_crash_recovers_from_checkpoints():
+    testbed, replicas, client = _hybrid_rig(active_head=2, n_replicas=4,
+                                            seed=6)
+    call(testbed, client, "add", 9)
+    testbed.run(1_000_000)
+    replicas[0].crash()
+    replicas[1].crash()
+    testbed.run(500_000)
+    reply = call(testbed, client, "add", 1, timeout_us=2 * FAILOVER_US)
+    assert reply.payload == 10
+    assert counter_values(replicas) == [10, 10]
+
+
+def test_hybrid_switches_to_active():
+    testbed, replicas, client = _hybrid_rig(active_head=1, n_replicas=3)
+    call(testbed, client, "add", 4)
+    replicas[0].replicator.request_switch(ReplicationStyle.ACTIVE)
+    testbed.run(1_500_000)
+    assert all(r.replicator.style is ReplicationStyle.ACTIVE
+               for r in replicas)
+    call(testbed, client, "add", 1)
+    assert counter_values(replicas) == [5, 5, 5]
+
+
+def test_head_of_one_equals_primary_backup():
+    """active_head=1 makes hybrid behave like warm passive with
+    checkpoint-synced backups."""
+    testbed, replicas, client = _hybrid_rig(active_head=1, n_replicas=3)
+    for _ in range(3):
+        call(testbed, client, "add", 1)
+    processed = [r.replicator.requests_processed for r in replicas]
+    assert processed == [3, 0, 0]
+    testbed.run(1_000_000)
+    assert counter_values(replicas) == [3, 3, 3]

@@ -1,0 +1,118 @@
+"""Semi-active (leader-follower) replication — the Delta-4 XPA model
+from the paper's related work: all replicas execute, only the leader
+transmits output responses.  "This approach can combine the low
+synchronization requirements of passive replication with the low
+error-recovery delays of active replication" (Section 6).
+"""
+
+import pytest
+
+from repro.replication import ReplicationStyle
+from tests.replication.helpers import (
+    FAILOVER_US,
+    build_rig,
+    call,
+    counter_values,
+    fire,
+)
+
+
+def test_all_replicas_execute():
+    testbed, replicas, clients = build_rig(ReplicationStyle.SEMI_ACTIVE)
+    call(testbed, clients[0], "add", 5)
+    assert counter_values(replicas) == [5, 5, 5]
+    assert all(r.replicator.requests_processed == 1 for r in replicas)
+
+
+def test_only_leader_transmits_replies():
+    testbed, replicas, clients = build_rig(ReplicationStyle.SEMI_ACTIVE)
+    for _ in range(3):
+        call(testbed, clients[0], "add", 1)
+    sent = [r.replicator.replies_sent for r in replicas]
+    assert sent == [3, 0, 0]
+    # Followers executed everything nonetheless.
+    assert counter_values(replicas) == [3, 3, 3]
+
+
+def test_client_sees_exactly_one_reply():
+    testbed, replicas, clients = build_rig(ReplicationStyle.SEMI_ACTIVE)
+    replies = fire(clients[0], "add", 1)
+    testbed.run(1_000_000)
+    assert len(replies) == 1
+    assert clients[0].replicator.duplicate_replies == 0
+
+
+def test_reply_bandwidth_lower_than_active():
+    """The point of semi-active: active's N replies shrink to one."""
+    semi = build_rig(ReplicationStyle.SEMI_ACTIVE, seed=3)
+    active = build_rig(ReplicationStyle.ACTIVE, seed=3)
+    for testbed, replicas, clients in (semi, active):
+        before = testbed.network.stats.total_bytes
+        for _ in range(10):
+            call(testbed, clients[0], "add", 1)
+        testbed.run(300_000)
+    semi_bytes = semi[0].network.stats.total_bytes
+    active_bytes = active[0].network.stats.total_bytes
+    assert semi_bytes < active_bytes
+
+
+def test_leader_crash_recovers_fast():
+    """Followers have fully executed state: failover needs no
+    rollback, only the membership change."""
+    testbed, replicas, clients = build_rig(ReplicationStyle.SEMI_ACTIVE,
+                                           seed=5)
+    call(testbed, clients[0], "add", 9)
+    replicas[0].crash()
+    testbed.run(200_000)
+    reply = call(testbed, clients[0], "add", 1, timeout_us=FAILOVER_US)
+    assert reply.payload == 10
+    # The new leader (old follower) now transmits.
+    assert replicas[1].replicator.transmits_replies
+
+
+def test_duplicate_after_leader_crash_resent_from_cache():
+    """A follower executed and cached every reply, so a client retry
+    of a request the dead leader answered gets the cached reply."""
+    testbed, replicas, clients = build_rig(ReplicationStyle.SEMI_ACTIVE,
+                                           seed=7)
+    call(testbed, clients[0], "add", 2)
+    req_id = next(iter(replicas[1].replicator._seen))
+    replicas[0].crash()
+    testbed.run(200_000)
+    from repro.gcs import Grade
+    from repro.orb import GiopRequest
+    from repro.replication import RepRequest
+    dup = RepRequest(
+        request=GiopRequest(request_id=req_id, object_key="counter",
+                            operation="add", payload=2, payload_bytes=32),
+        client=clients[0].gcs.member)
+    clients[0].gcs.multicast("svc", dup, dup.wire_bytes, grade=Grade.AGREED)
+    testbed.run(500_000)
+    assert replicas[1].replicator.duplicates_suppressed >= 1
+    # State unchanged: the duplicate did not re-execute.
+    assert counter_values(replicas) == [2, 2]
+
+
+def test_switch_active_to_semi_active():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
+    call(testbed, clients[0], "add", 4)
+    replicas[0].replicator.request_switch(ReplicationStyle.SEMI_ACTIVE)
+    testbed.run(1_000_000)
+    styles = [r.replicator.style for r in replicas]
+    assert styles == [ReplicationStyle.SEMI_ACTIVE] * 3
+    call(testbed, clients[0], "add", 1)
+    assert counter_values(replicas) == [5, 5, 5]
+    assert [r.replicator.replies_sent for r in replicas][1:] == [1, 1]
+
+
+def test_switch_warm_passive_to_semi_active_uses_final_checkpoint():
+    """WP -> semi-active is a Fig. 5 case-1 switch: the primary's
+    final checkpoint seeds the followers before they start executing."""
+    testbed, replicas, clients = build_rig(ReplicationStyle.WARM_PASSIVE)
+    call(testbed, clients[0], "add", 6)
+    before = replicas[0].replicator.checkpoints_sent
+    replicas[0].replicator.request_switch(ReplicationStyle.SEMI_ACTIVE)
+    testbed.run(1_000_000)
+    assert replicas[0].replicator.checkpoints_sent == before + 1
+    call(testbed, clients[0], "add", 1)
+    assert counter_values(replicas) == [7, 7, 7]

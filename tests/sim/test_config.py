@@ -1,0 +1,86 @@
+"""Tests for the substrate calibration configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    GcsCalibration,
+    HostCalibration,
+    InterposeCalibration,
+    NetworkCalibration,
+    OrbCalibration,
+    PAPER_FIG3_BREAKDOWN,
+    ReplicationCalibration,
+    SubstrateCalibration,
+    default_calibration,
+)
+
+
+def test_default_calibration_validates():
+    cal = default_calibration()
+    cal.validate()
+
+
+def test_paper_anchor_constants():
+    assert PAPER_FIG3_BREAKDOWN["application"] == 15.0
+    assert PAPER_FIG3_BREAKDOWN["orb"] == 398.0
+    assert PAPER_FIG3_BREAKDOWN["group_communication"] == 620.0
+    assert PAPER_FIG3_BREAKDOWN["replicator"] == 154.0
+
+
+def test_network_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkCalibration(propagation_us=-1.0).validate()
+    with pytest.raises(ConfigurationError):
+        NetworkCalibration(bandwidth_bytes_per_us=0.0).validate()
+
+
+def test_orb_validation():
+    with pytest.raises(ConfigurationError):
+        OrbCalibration(marshal_fixed_us=-1.0).validate()
+
+
+def test_gcs_validation():
+    with pytest.raises(ConfigurationError):
+        GcsCalibration(heartbeat_interval_us=100.0,
+                       failure_timeout_us=50.0).validate()
+    with pytest.raises(ConfigurationError):
+        GcsCalibration(history_limit=2).validate()
+
+
+def test_interpose_validation():
+    with pytest.raises(ConfigurationError):
+        InterposeCalibration(intercept_us=-1.0).validate()
+
+
+def test_replication_validation():
+    with pytest.raises(ConfigurationError):
+        ReplicationCalibration(checkpoint_per_byte_us=-0.1).validate()
+
+
+def test_host_validation():
+    with pytest.raises(ConfigurationError):
+        HostCalibration(speed=0.0).validate()
+
+
+def test_with_overrides_replaces_sections():
+    cal = default_calibration()
+    fast = cal.with_overrides(
+        network=NetworkCalibration(bandwidth_bytes_per_us=125.0))
+    assert fast.network.bandwidth_bytes_per_us == 125.0
+    # Untouched sections are preserved, original unmodified.
+    assert fast.orb == cal.orb
+    assert cal.network.bandwidth_bytes_per_us == 12.5
+
+
+def test_calibration_is_immutable():
+    cal = default_calibration()
+    with pytest.raises(Exception):
+        cal.network.propagation_us = 1.0  # frozen dataclass
+
+
+def test_substrate_validate_covers_all_sections():
+    broken = SubstrateCalibration(
+        host=HostCalibration(speed=-1.0))
+    with pytest.raises(ConfigurationError):
+        broken.validate()

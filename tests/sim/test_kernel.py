@@ -1,0 +1,215 @@
+"""Unit tests for the discrete-event kernel."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_fires_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30.0, fired.append, "c")
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(20.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(5.0, fired.append, label)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42.5]
+    assert sim.now == 42.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "early")
+    sim.schedule(100.0, fired.append, "late")
+    sim.run(until=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=1000.0)
+    assert sim.now == 1000.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_non_callable_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(1.0, "not a function")
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(10.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    handle.cancel()
+    assert fired == ["x"]
+
+
+def test_pending_property():
+    sim = Simulator()
+    handle = sim.schedule(10.0, lambda: None)
+    assert handle.pending
+    handle.cancel()
+    assert not handle.pending
+
+
+def test_events_scheduled_during_run_are_dispatched():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 1)
+    sim.run()
+    assert fired == [1, 2, 3, 4, 5]
+    assert sim.now == 4.0
+
+
+def test_zero_delay_event_fires_at_same_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(10.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [10.0]
+
+
+def test_max_events_limits_dispatch():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    h1.cancel()
+    assert sim.pending_events == 1
+
+
+def test_events_dispatched_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_dispatched == 4
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        values = []
+
+        def tick(n):
+            values.append((sim.now, sim.rng.random()))
+            if n > 0:
+                sim.schedule(sim.rng.uniform(1, 10), tick, n - 1)
+
+        sim.schedule(0.0, tick, 20)
+        sim.run()
+        return values
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_run_until_idle_returns_final_time():
+    sim = Simulator()
+    sim.schedule(123.0, lambda: None)
+    assert sim.run_until_idle() == 123.0
+
+
+def test_repr_mentions_time_and_pending():
+    sim = Simulator(seed=3)
+    sim.schedule(1.0, lambda: None)
+    text = repr(sim)
+    assert "pending=1" in text and "seed=3" in text

@@ -1,0 +1,75 @@
+"""Unit tests for the trace log."""
+
+from repro.sim import TraceLog
+
+
+def test_record_and_query():
+    log = TraceLog()
+    log.record(1.0, "gcs.view", "view installed", view=1)
+    log.record(2.0, "repl.switch", "switched")
+    assert log.count() == 2
+    assert log.count("gcs") == 1
+    assert log.count("repl.switch") == 1
+
+
+def test_prefix_matching_is_hierarchical():
+    log = TraceLog()
+    log.record(1.0, "gcs.view", "a")
+    log.record(2.0, "gcs.deliver", "b")
+    log.record(3.0, "gcsx.other", "c")
+    assert log.count("gcs") == 2  # "gcsx" must not match prefix "gcs"
+
+
+def test_since_filter():
+    log = TraceLog()
+    log.record(1.0, "a", "early")
+    log.record(10.0, "a", "late")
+    assert [r.message for r in log.query("a", since=5.0)] == ["late"]
+
+
+def test_last_returns_most_recent():
+    log = TraceLog()
+    assert log.last() is None
+    log.record(1.0, "a", "first")
+    log.record(2.0, "a", "second")
+    assert log.last("a").message == "second"
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog()
+    log.enabled = False
+    log.record(1.0, "a", "x")
+    assert len(log) == 0
+
+
+def test_capacity_evicts_oldest():
+    log = TraceLog(capacity=3)
+    for i in range(5):
+        log.record(float(i), "a", str(i))
+    assert [r.message for r in log] == ["2", "3", "4"]
+
+
+def test_subscribe_listener_sees_records():
+    log = TraceLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.record(1.0, "a", "x")
+    assert len(seen) == 1 and seen[0].message == "x"
+
+
+def test_clear_drops_records_keeps_listeners():
+    log = TraceLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.record(1.0, "a", "x")
+    log.clear()
+    assert len(log) == 0
+    log.record(2.0, "a", "y")
+    assert len(seen) == 2
+
+
+def test_data_payload_preserved():
+    log = TraceLog()
+    log.record(1.0, "a", "x", key="value", n=42)
+    rec = log.last()
+    assert rec.data == {"key": "value", "n": 42}

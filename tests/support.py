@@ -1,0 +1,76 @@
+"""Shared test helpers: a small simulated cluster with GCS daemons."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gcs import GcsClient, GcsDaemon
+from repro.net import Network
+from repro.sim import (
+    Host,
+    NetworkCalibration,
+    Process,
+    Simulator,
+    SubstrateCalibration,
+    default_calibration,
+)
+
+
+class Cluster:
+    """A LAN of hosts, each running a GCS daemon."""
+
+    def __init__(self, host_names: Sequence[str], seed: int = 0,
+                 calibration: Optional[SubstrateCalibration] = None,
+                 deterministic_network: bool = True):
+        self.calibration = calibration or default_calibration()
+        if deterministic_network:
+            self.calibration = self.calibration.with_overrides(
+                network=NetworkCalibration(jitter_us=0.0))
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, self.calibration.network)
+        self.hosts: Dict[str, Host] = {}
+        self.daemons: Dict[str, GcsDaemon] = {}
+        names = list(host_names)
+        for name in names:
+            self.hosts[name] = self.network.add_host(
+                name, calibration=self.calibration.host)
+        for name in names:
+            proc = Process(self.hosts[name], f"gcsd-{name}")
+            self.daemons[name] = GcsDaemon(proc, self.network, names,
+                                           self.calibration.gcs)
+
+    def spawn(self, host: str, name: str) -> Process:
+        return Process(self.hosts[host], name)
+
+    def client(self, host: str, name: str) -> Tuple[Process, GcsClient]:
+        proc = self.spawn(host, name)
+        return proc, GcsClient(proc, self.daemons[host])
+
+    def run(self, duration_us: float) -> None:
+        self.sim.run(until=self.sim.now + duration_us)
+
+    def run_until_idle(self) -> None:
+        self.sim.run_until_idle()
+
+
+class RecordingListener:
+    """GroupListener that records everything it sees."""
+
+    def __init__(self) -> None:
+        self.messages: List[Tuple[str, str, object]] = []
+        self.views: List[Tuple[int, Tuple[str, ...], bool]] = []
+
+    def on_message(self, group, sender, payload, nbytes) -> None:
+        self.messages.append((group, str(sender), payload))
+
+    def on_view(self, view, joined, left, crashed) -> None:
+        self.views.append(
+            (view.view_id, tuple(str(m) for m in view.members), crashed))
+
+    @property
+    def payloads(self) -> List[object]:
+        return [payload for _, _, payload in self.messages]
+
+    @property
+    def member_sets(self) -> List[Tuple[str, ...]]:
+        return [members for _, members, _ in self.views]

@@ -1,0 +1,88 @@
+"""Documentation gates: every public item carries a docstring, and the
+promised repository artifacts exist.
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+
+
+def _walk_modules():
+    prefix = repro.__name__ + "."
+    for info in pkgutil.walk_packages(repro.__path__, prefix):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_every_module_has_a_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_every_public_class_and_function_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not (method.__doc__ and method.__doc__.strip()):
+                    # Properties/overrides of documented bases excluded
+                    # by the isfunction check above; plain public
+                    # methods must be documented.
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {undocumented}")
+
+
+def test_every_package_declares_public_surface():
+    packages = [m for m in ALL_MODULES
+                if hasattr(m, "__path__")]
+    missing = [p.__name__ for p in packages
+               if not hasattr(p, "__all__")]
+    assert not missing, f"packages without __all__: {missing}"
+
+
+def test_promised_artifacts_exist():
+    for artifact in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "docs/architecture.md", "docs/calibration.md",
+                     "docs/protocols.md", "docs/api.md",
+                     "examples/quickstart.py",
+                     "examples/adaptive_replication.py",
+                     "examples/scalability_tuning.py",
+                     "examples/mission_modes.py",
+                     "examples/replicated_kvstore.py"):
+        assert (REPO_ROOT / artifact).exists(), artifact
+
+
+def test_design_md_maps_every_figure_to_a_bench():
+    design = (REPO_ROOT / "DESIGN.md").read_text()
+    for bench in ("test_fig3_rtt_breakdown", "test_fig4_overhead",
+                  "test_fig6_adaptive_switch", "test_fig7_tradeoff",
+                  "test_table2_scalability_policy",
+                  "test_fig9_design_space", "test_table1_knob_mapping"):
+        assert bench in design, bench
+        assert (REPO_ROOT / "benchmarks" / f"{bench}.py").exists(), bench

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_breakdown_command(capsys):
+    assert main(["--requests", "30", "breakdown"]) == 0
+    out = capsys.readouterr().out
+    assert "group_communication" in out
+    assert "TOTAL" in out
+
+
+def test_profile_command_with_csv(tmp_path, capsys):
+    csv_path = tmp_path / "sweep.csv"
+    assert main(["--requests", "8", "profile", "--csv",
+                 str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "A(2)" in out and "P(3)" in out
+    assert csv_path.read_text().startswith("style,")
+
+
+def test_policy_command(capsys):
+    assert main(["--requests", "30", "policy"]) == 0
+    out = capsys.readouterr().out
+    assert "Ncli" in out
+    # With 30-request sampling the exact pattern may wobble, but the
+    # table renders and selects configurations.
+    assert "(" in out
+
+
+def test_policy_command_custom_constraints(capsys):
+    assert main(["--requests", "8", "policy", "--max-latency", "900000",
+                 "--max-bandwidth", "90"]) == 0
+    out = capsys.readouterr().out
+    # With absurdly loose constraints every load is feasible.
+    assert out.count("\n") >= 5
+
+
+def test_report_command(capsys):
+    assert main(["--requests", "8", "report"]) == 0
+    out = capsys.readouterr().out
+    assert "# EXPERIMENTS" in out
+    assert "Table 2" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])
+
+
+def test_verify_command_passes(capsys):
+    assert main(["--requests", "60", "verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verify: PASS" in out
+    assert "Table 2 pattern" in out

@@ -1,0 +1,117 @@
+"""Tests for the trace-timeline and export tools."""
+
+import pytest
+
+from repro.core import ConfigPoint, Measurement, Profile, ScalabilityPolicy
+from repro.replication import ReplicationStyle
+from repro.sim import TraceLog
+from repro.tools import (
+    policy_to_csv,
+    profile_to_csv,
+    render_series,
+    render_timeline,
+    series_to_csv,
+    summarize_trace,
+)
+
+
+@pytest.fixture
+def trace():
+    log = TraceLog()
+    log.record(100_000.0, "host.crash", "host s02 crashed")
+    log.record(450_000.0, "gcs.suspect", "suspecting ['s02']")
+    log.record(500_000.0, "gcs.install", "installed daemon view 1")
+    log.record(600_000.0, "repl.switch", "step III: switched to active")
+    log.record(700_000.0, "adapt.switch", "rate 900 -> switching")
+    log.record(800_000.0, "net.drop", "frame lost")  # not in defaults
+    return log
+
+
+class TestTimeline:
+    def test_renders_selected_categories_in_time_order(self, trace):
+        text = render_timeline(trace)
+        lines = text.splitlines()
+        assert len(lines) == 5  # net.drop excluded
+        assert "FAULT" in lines[0]
+        assert "SWITCH" in lines[3]
+        times = [float(line.split("s]")[0].strip("[ "))
+                 for line in lines]
+        assert times == sorted(times)
+
+    def test_since_filter(self, trace):
+        text = render_timeline(trace, since_us=550_000.0)
+        assert "crashed" not in text
+        assert "switched" in text
+
+    def test_limit(self, trace):
+        text = render_timeline(trace, limit=2)
+        assert len(text.splitlines()) == 2
+
+    def test_custom_categories(self, trace):
+        text = render_timeline(trace, categories=[("net.drop", "DROP")])
+        assert text.splitlines() == [text]  # single line
+        assert "DROP" in text
+
+    def test_summary_counters(self, trace):
+        summary = summarize_trace(trace)
+        assert summary["host_crashes"] == 1
+        assert summary["daemon_view_changes"] == 1
+        assert summary["style_switches"] == 1
+        assert summary["adaptations"] == 1
+
+
+class TestSeries:
+    def test_bars_scale_to_peak(self):
+        text = render_series([(0.0, 10.0), (1e6, 100.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("value (peak 100.0)")
+        assert lines[1].count("#") == 1
+        assert lines[2].count("#") == 10
+
+    def test_empty_series(self):
+        assert render_series([]) == "(empty series)"
+
+    def test_zero_peak(self):
+        text = render_series([(0.0, 0.0)])
+        assert "|" in text
+
+
+class TestCsvExport:
+    def _profile(self):
+        return Profile([
+            Measurement(config=ConfigPoint(ReplicationStyle.ACTIVE, 3),
+                        n_clients=1, latency_us=1200.0, jitter_us=10.0,
+                        bandwidth_mbps=1.5, throughput_per_s=800.0),
+            Measurement(config=ConfigPoint(
+                ReplicationStyle.WARM_PASSIVE, 2),
+                n_clients=1, latency_us=2000.0, jitter_us=50.0,
+                bandwidth_mbps=0.9, throughput_per_s=480.0),
+        ])
+
+    def test_profile_csv_roundtrippable(self):
+        import csv as csv_module
+        import io
+        text = profile_to_csv(self._profile())
+        rows = list(csv_module.reader(io.StringIO(text)))
+        assert rows[0][0] == "style"
+        assert len(rows) == 3
+        assert rows[1][0] == "active"
+        assert float(rows[1][3]) == 1200.0
+
+    def test_profile_csv_writes_to_stream(self, tmp_path):
+        target = tmp_path / "profile.csv"
+        with open(target, "w") as handle:
+            profile_to_csv(self._profile(), out=handle)
+        assert target.read_text().startswith("style,")
+
+    def test_policy_csv(self):
+        policy = ScalabilityPolicy.synthesize(self._profile())
+        text = policy_to_csv(policy)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("n_clients,")
+        assert len(lines) == 2  # one feasible load profiled
+        assert "A(3)" in lines[1]
+
+    def test_series_csv(self):
+        text = series_to_csv([(0, 1.5), (1, 2.5)], header=("t", "v"))
+        assert text.strip().splitlines() == ["t,v", "0,1.5", "1,2.5"]
