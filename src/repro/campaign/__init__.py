@@ -1,0 +1,99 @@
+"""Fault-injection campaigns: sweep the knob design space under fault
+load, in parallel, with a persistent results store and dependability
+scoring (the DAVOS-style benchmarking layer over the simulator).
+
+Public surface:
+
+- :class:`CampaignSpec` / :class:`TrialSpec` — declarative sweeps
+  with JSON round-trip (:mod:`repro.campaign.spec`)
+- the fault-load dictionary: :func:`fault_load`,
+  :func:`available_loads`, :func:`register_load`, entry classes
+  (:mod:`repro.campaign.dictionary`)
+- :func:`run_campaign` / :class:`CampaignRunner` — parallel executor
+  with resume, per-trial timeout and crash isolation
+- :class:`ResultsStore`, :class:`TrialRecord`,
+  :class:`DependabilityScore`, :func:`aggregate_scores` — JSONL
+  persistence and per-configuration scoring
+- :func:`pareto_front`, :func:`rank`, :class:`RankWeights`,
+  :func:`to_design_space` — ranking in the Fig. 9 design space
+- :func:`render_scores`, :func:`render_pareto`,
+  :func:`write_markdown` — reporting
+"""
+
+from repro.campaign.dictionary import (
+    CpuHog,
+    CrashAndRestart,
+    DelaySpike,
+    FaultEntry,
+    HostCrash,
+    LossBurst,
+    ProcessCrash,
+    available_loads,
+    compile_load,
+    fault_load,
+    register_load,
+)
+from repro.campaign.ranking import (
+    RankWeights,
+    dominates,
+    pareto_front,
+    rank,
+    to_design_space,
+)
+from repro.campaign.report import (
+    render_pareto,
+    render_scores,
+    write_markdown,
+)
+from repro.campaign.results import (
+    SCHEMA_VERSION,
+    DependabilityScore,
+    ResultsStore,
+    TrialRecord,
+    aggregate_scores,
+)
+from repro.campaign.runner import (
+    CampaignRunner,
+    CampaignSummary,
+    execute_trial,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    TrialSpec,
+    derive_trial_seed,
+)
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignSummary",
+    "CpuHog",
+    "CrashAndRestart",
+    "DelaySpike",
+    "DependabilityScore",
+    "FaultEntry",
+    "HostCrash",
+    "LossBurst",
+    "ProcessCrash",
+    "RankWeights",
+    "ResultsStore",
+    "SCHEMA_VERSION",
+    "TrialRecord",
+    "TrialSpec",
+    "aggregate_scores",
+    "available_loads",
+    "compile_load",
+    "derive_trial_seed",
+    "dominates",
+    "execute_trial",
+    "fault_load",
+    "pareto_front",
+    "rank",
+    "register_load",
+    "render_pareto",
+    "render_scores",
+    "run_campaign",
+    "to_design_space",
+    "write_markdown",
+]

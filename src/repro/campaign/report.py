@@ -1,0 +1,96 @@
+"""Rendering campaign results for operators.
+
+Plain-text tables for the CLI, Markdown for reports that live next to
+the spec in version control, and CSV (via :mod:`repro.tools.export`)
+for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence, TextIO
+
+from repro.campaign.ranking import RankWeights, pareto_front, rank
+from repro.campaign.results import DependabilityScore
+from repro.campaign.spec import CampaignSpec
+
+_COLUMNS = ("config", "dep", "avail", "fail%", "late%",
+            "recov[us]", "lat[us]", "bw[MB/s]", "cost", "trials")
+
+
+def _row(score: DependabilityScore) -> List[str]:
+    return [score.config_key,
+            f"{score.dependability:.4f}",
+            f"{score.availability:.4f}",
+            f"{score.failed_fraction * 100:.2f}",
+            f"{score.late_fraction * 100:.2f}",
+            f"{score.mean_recovery_us:.0f}",
+            f"{score.latency_us:.1f}",
+            f"{score.bandwidth_mbps:.3f}",
+            f"{score.resource_cost:.3f}",
+            str(score.n_trials)]
+
+
+def render_scores(scores: Sequence[DependabilityScore],
+                  title: str = "configurations") -> str:
+    """Fixed-width score table, best dependability first."""
+    lines = [f"{title}:"]
+    widths = [max(len(c), 9) for c in _COLUMNS]
+    widths[0] = max(12, max((len(s.config_key) for s in scores),
+                            default=12))
+    header = "  ".join(c.rjust(w) for c, w in zip(_COLUMNS, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    ordered = sorted(scores, key=lambda s: -s.dependability)
+    for score in ordered:
+        lines.append("  ".join(v.rjust(w)
+                               for v, w in zip(_row(score), widths)))
+    return "\n".join(lines)
+
+
+def render_pareto(scores: Sequence[DependabilityScore]) -> str:
+    """The Pareto front over (dependability up, latency down, cost
+    down), annotated with the weighted-sum rank value."""
+    front = pareto_front(scores)
+    ranked = dict()
+    if scores:
+        ranked = {id(s): v for s, v in rank(list(scores), RankWeights())}
+    lines = ["Pareto front (dependability vs latency vs resource cost):"]
+    for score in front:
+        lines.append(
+            f"  {score.config_key:12s} dep={score.dependability:.4f} "
+            f"lat={score.latency_us:8.1f}us cost={score.resource_cost:.3f} "
+            f"rank={ranked.get(id(score), 0.0):.3f}")
+    dominated = len(scores) - len(front)
+    lines.append(f"  ({len(front)} optimal, {dominated} dominated)")
+    return "\n".join(lines)
+
+
+def write_markdown(spec: CampaignSpec,
+                   scores: Sequence[DependabilityScore],
+                   out: Optional[TextIO] = None) -> str:
+    """A self-contained Markdown report of one campaign."""
+    buffer = io.StringIO()
+    front = {s.config_key for s in pareto_front(scores)}
+    buffer.write(f"# Campaign: {spec.name}\n\n")
+    buffer.write(f"{spec.n_trials()} trials — knob grid "
+                 f"{spec.styles} x replicas {spec.replica_counts} x "
+                 f"checkpoint {spec.checkpoint_intervals}, fault loads "
+                 f"{spec.fault_loads}, seeds {spec.seeds}.\n\n")
+    buffer.write("| config | dependability | availability | failed | "
+                 "late | recovery [us] | latency [us] | bw [MB/s] | "
+                 "cost | Pareto |\n")
+    buffer.write("|---|---|---|---|---|---|---|---|---|---|\n")
+    for score in sorted(scores, key=lambda s: -s.dependability):
+        buffer.write(
+            f"| {score.config_key} | {score.dependability:.4f} | "
+            f"{score.availability:.4f} | "
+            f"{score.failed_fraction * 100:.2f}% | "
+            f"{score.late_fraction * 100:.2f}% | "
+            f"{score.mean_recovery_us:.0f} | {score.latency_us:.1f} | "
+            f"{score.bandwidth_mbps:.3f} | {score.resource_cost:.3f} | "
+            f"{'yes' if score.config_key in front else ''} |\n")
+    text = buffer.getvalue()
+    if out is not None:
+        out.write(text)
+    return text

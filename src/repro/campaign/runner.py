@@ -1,0 +1,256 @@
+"""Campaign execution: fan trials out across worker processes.
+
+The simulator is single-threaded Python, so the only real speed-up
+for a campaign is *process-level* parallelism (DAVOS reaches the same
+conclusion for its HDL simulators).  Each trial runs in a worker
+process of its own:
+
+- **crash isolation** — a worker segfaulting or raising marks that
+  one trial ``failed``; the campaign keeps going;
+- **per-trial timeout** — a hung simulation becomes a ``timeout``
+  record instead of a hung campaign;
+- **deterministic output** — per-trial seeds derive from the spec
+  alone and records are written in expansion order, so a parallel run
+  produces a byte-identical results file to a serial one;
+- **resume** — trials already recorded ``ok`` in the store are
+  skipped, DAVOS-checkpoint style.
+
+``workers=1`` falls back to plain in-process execution (no fork, easy
+debugging, same records).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.dictionary import compile_load
+from repro.campaign.results import ResultsStore, TrialRecord
+from repro.campaign.spec import CampaignSpec, TrialSpec
+from repro.errors import ConfigurationError
+
+#: Generous per-trial wall-clock budget; campaigns of small simulated
+#: windows finish trials in well under a second.
+DEFAULT_TRIAL_TIMEOUT_S = 300.0
+
+ProgressFn = Callable[[int, int, Optional[TrialRecord]], None]
+
+
+def execute_trial(trial: TrialSpec) -> TrialRecord:
+    """Run one trial in the current process and build its record."""
+    from repro.experiments.trial import run_fault_trial  # lazy: keeps
+    # campaign importable without dragging the full stack in at startup
+
+    trial.validate()
+    result = run_fault_trial(
+        style=trial.replication_style, n_replicas=trial.n_replicas,
+        n_clients=trial.n_clients, duration_us=trial.duration_us,
+        rate_per_s=trial.rate_per_s, seed=trial.seed,
+        checkpoint_interval=trial.checkpoint_interval,
+        deadline_us=trial.deadline_us, settle_us=trial.settle_us,
+        inject=lambda ctx: compile_load(trial.fault_load, ctx))
+    return TrialRecord(trial_id=trial.trial_id, status="ok",
+                       spec=trial.to_dict(), metrics=result.metrics())
+
+
+def _failure_record(trial: TrialSpec, status: str,
+                    error: str) -> TrialRecord:
+    return TrialRecord(trial_id=trial.trial_id, status=status,
+                       spec=trial.to_dict(), error=error)
+
+
+def _trial_worker(conn, trial_dict: Dict[str, object]) -> None:
+    """Worker-process entry point: run one trial, ship the record."""
+    trial = TrialSpec.from_dict(trial_dict)
+    try:
+        record = execute_trial(trial)
+        conn.send(("ok", record.to_line()))
+    except BaseException:  # noqa: BLE001 - the whole point is isolation
+        conn.send(("error", traceback.format_exc(limit=20)))
+    finally:
+        conn.close()
+
+
+@dataclass
+class CampaignSummary:
+    """What a campaign run did."""
+
+    total: int
+    ran: int
+    skipped: int
+    failed: int
+    elapsed_s: float
+    records: List[TrialRecord] = field(default_factory=list)
+
+
+@dataclass
+class _Running:
+    """Book-keeping for one in-flight worker."""
+
+    index: int
+    trial: TrialSpec
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    started_at: float
+
+
+def _mp_context():
+    """Fork where available (fast, Linux); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class CampaignRunner:
+    """Executes one campaign against one results store."""
+
+    def __init__(self, spec: CampaignSpec, store: ResultsStore,
+                 workers: int = 1,
+                 trial_timeout_s: float = DEFAULT_TRIAL_TIMEOUT_S,
+                 progress: Optional[ProgressFn] = None):
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if trial_timeout_s <= 0:
+            raise ConfigurationError("trial timeout must be positive")
+        self.spec = spec
+        self.store = store
+        self.workers = workers
+        self.trial_timeout_s = trial_timeout_s
+        self.progress = progress
+
+    def run(self) -> CampaignSummary:
+        """Run every not-yet-completed trial; returns the summary."""
+        started = time.monotonic()
+        trials = self.spec.expand()
+        done_ids = self.store.completed_ids()
+        todo = [(i, t) for i, t in enumerate(trials)
+                if t.trial_id not in done_ids]
+        skipped = len(trials) - len(todo)
+
+        if self.workers == 1:
+            records = self._run_serial(todo, len(trials), skipped)
+        else:
+            records = self._run_parallel(todo, len(trials), skipped)
+
+        return CampaignSummary(
+            total=len(trials), ran=len(records), skipped=skipped,
+            failed=sum(1 for r in records if not r.ok),
+            elapsed_s=time.monotonic() - started, records=records)
+
+    # ------------------------------------------------------------------
+    # Serial path
+    # ------------------------------------------------------------------
+    def _run_serial(self, todo: List[Tuple[int, TrialSpec]],
+                    total: int, skipped: int) -> List[TrialRecord]:
+        records = []
+        done = skipped
+        for _, trial in todo:
+            try:
+                record = execute_trial(trial)
+            except Exception:  # crash isolation, in-process flavour
+                record = _failure_record(
+                    trial, "failed", traceback.format_exc(limit=20))
+            self.store.append(record)
+            records.append(record)
+            done += 1
+            self._report(done, total, record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Parallel path
+    # ------------------------------------------------------------------
+    def _run_parallel(self, todo: List[Tuple[int, TrialSpec]],
+                      total: int, skipped: int) -> List[TrialRecord]:
+        ctx = _mp_context()
+        pending = list(todo)
+        running: List[_Running] = []
+        finished: Dict[int, TrialRecord] = {}
+        # Records are buffered and flushed in expansion order so the
+        # store is byte-identical to a serial run's.
+        write_queue = [index for index, _ in todo]
+        next_write = 0
+        done = skipped
+
+        def flush() -> None:
+            nonlocal next_write
+            while (next_write < len(write_queue)
+                   and write_queue[next_write] in finished):
+                self.store.append(finished[write_queue[next_write]])
+                next_write += 1
+
+        while pending or running:
+            while pending and len(running) < self.workers:
+                index, trial = pending.pop(0)
+                parent, child = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_trial_worker, args=(child, trial.to_dict()),
+                    daemon=True)
+                process.start()
+                child.close()
+                running.append(_Running(index=index, trial=trial,
+                                        process=process, conn=parent,
+                                        started_at=time.monotonic()))
+
+            time.sleep(0.005)
+            still_running: List[_Running] = []
+            for worker in running:
+                record = self._collect(worker)
+                if record is None:
+                    still_running.append(worker)
+                    continue
+                finished[worker.index] = record
+                flush()
+                done += 1
+                self._report(done, total, record)
+            running = still_running
+
+        flush()
+        return [finished[index] for index, _ in todo]
+
+    def _collect(self, worker: _Running) -> Optional[TrialRecord]:
+        """One poll of an in-flight worker; a record ends it."""
+        if worker.conn.poll():
+            try:
+                kind, payload = worker.conn.recv()
+            except EOFError:
+                kind, payload = "error", "worker closed the pipe"
+            self._reap(worker)
+            if kind == "ok":
+                return TrialRecord.from_line(payload)
+            return _failure_record(worker.trial, "failed", str(payload))
+        if not worker.process.is_alive():
+            self._reap(worker)
+            return _failure_record(
+                worker.trial, "failed",
+                f"worker died (exit code {worker.process.exitcode})")
+        if time.monotonic() - worker.started_at > self.trial_timeout_s:
+            worker.process.terminate()
+            self._reap(worker)
+            return _failure_record(
+                worker.trial, "timeout",
+                f"trial exceeded {self.trial_timeout_s:.0f}s")
+        return None
+
+    @staticmethod
+    def _reap(worker: _Running) -> None:
+        worker.process.join(timeout=5.0)
+        worker.conn.close()
+
+    def _report(self, done: int, total: int,
+                record: Optional[TrialRecord]) -> None:
+        if self.progress is not None:
+            self.progress(done, total, record)
+
+
+def run_campaign(spec: CampaignSpec, store: ResultsStore,
+                 workers: int = 1,
+                 trial_timeout_s: float = DEFAULT_TRIAL_TIMEOUT_S,
+                 progress: Optional[ProgressFn] = None
+                 ) -> CampaignSummary:
+    """Convenience wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(spec, store, workers=workers,
+                          trial_timeout_s=trial_timeout_s,
+                          progress=progress).run()

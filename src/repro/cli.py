@@ -7,6 +7,7 @@
 - ``policy``    — synthesize and print the Table 2 scalability policy
 - ``adaptive``  — run the Fig. 6 adaptive-replication scenario
 - ``report``    — regenerate the full EXPERIMENTS.md report
+- ``campaign``  — run a fault-injection campaign from a spec file
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import sys
 from typing import List, Optional
 
 from repro.core import Constraints, CostFunction, ScalabilityPolicy, ThresholdSwitchPolicy
+from repro.errors import ConfigurationError
 from repro.experiments import (
     build_profile,
     run_adaptive_scenario,
@@ -106,6 +108,67 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignSpec,
+        ResultsStore,
+        aggregate_scores,
+        render_pareto,
+        render_scores,
+        run_campaign,
+        write_markdown,
+    )
+    from repro.tools import scores_to_csv
+
+    try:
+        spec = CampaignSpec.from_file(args.spec)
+    except (ConfigurationError, OSError) as exc:
+        print(f"campaign: bad spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    results_path = args.results or f"{args.spec}.results.jsonl"
+    store = ResultsStore(results_path)
+    if args.fresh:
+        store.clear()
+
+    def progress(done: int, total: int, record) -> None:
+        if record is None or args.quiet:
+            return
+        marker = "ok" if record.ok else record.status.upper()
+        print(f"  [{done:3d}/{total}] {record.trial_id:40s} {marker}")
+
+    print(f"campaign {spec.name!r}: {spec.n_trials()} trials, "
+          f"{args.workers} worker(s), results -> {results_path}")
+    try:
+        summary = run_campaign(spec, store, workers=args.workers,
+                               trial_timeout_s=args.trial_timeout,
+                               progress=progress)
+    except ConfigurationError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    print(f"ran {summary.ran}, skipped {summary.skipped} "
+          f"(already recorded), failed {summary.failed}, "
+          f"in {summary.elapsed_s:.1f}s")
+
+    records = [r for r in store.records() if r.ok]
+    if not records:
+        print("no successful trials recorded; nothing to score")
+        return 1
+    scores = aggregate_scores(records)
+    print()
+    print(render_scores(scores))
+    print()
+    print(render_pareto(scores))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            scores_to_csv(scores, out=handle)
+        print(f"\nwrote {args.csv}")
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            write_markdown(spec, scores, out=handle)
+        print(f"wrote {args.markdown}")
+    return 0 if summary.failed == 0 else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
     write_report(sys.stdout, n_requests=args.requests, seed=args.seed)
@@ -180,6 +243,29 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive_parser.add_argument("--low", type=float, default=200.0,
                                  help="switch-down threshold [req/s]")
 
+    campaign_parser = sub.add_parser(
+        "campaign", help="run a fault-injection campaign from a spec")
+    campaign_parser.add_argument("spec", help="campaign spec JSON file")
+    campaign_parser.add_argument("--workers", type=int, default=1,
+                                 help="parallel worker processes "
+                                      "(default 1 = serial)")
+    campaign_parser.add_argument("--results",
+                                 help="results JSONL path (default: "
+                                      "<spec>.results.jsonl); an "
+                                      "existing store resumes the "
+                                      "campaign")
+    campaign_parser.add_argument("--fresh", action="store_true",
+                                 help="discard any existing results "
+                                      "instead of resuming")
+    campaign_parser.add_argument("--trial-timeout", type=float,
+                                 default=300.0,
+                                 help="per-trial wall-clock timeout [s]")
+    campaign_parser.add_argument("--csv", help="export scores as CSV")
+    campaign_parser.add_argument("--markdown",
+                                 help="export a Markdown report")
+    campaign_parser.add_argument("--quiet", action="store_true",
+                                 help="suppress per-trial progress lines")
+
     sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
     sub.add_parser("verify",
                    help="self-check calibration + Table 2 pattern")
@@ -191,6 +277,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "policy": _cmd_policy,
     "adaptive": _cmd_adaptive,
+    "campaign": _cmd_campaign,
     "report": _cmd_report,
     "verify": _cmd_verify,
 }

@@ -7,9 +7,10 @@ Public surface:
 - scenario engines: :func:`run_replicated_load`, :func:`build_profile`
   (Fig. 7 sweep), :func:`run_rtt_breakdown` (Fig. 3),
   :func:`run_overhead_modes` (Fig. 4), :func:`run_adaptive_scenario`
-  (Fig. 6)
+  (Fig. 6), :func:`run_fault_trial` (campaign trial unit)
 - result records: :class:`ScenarioResult`, :class:`OverheadResult`,
-  :class:`AdaptiveResult`
+  :class:`AdaptiveResult`, :class:`FaultTrialResult` with
+  :class:`TrialContext`
 """
 
 from repro.experiments.scenarios import (
@@ -34,10 +35,17 @@ from repro.experiments.testbed import (
     deploy_replica,
     deploy_replica_group,
 )
+from repro.experiments.trial import (
+    FaultTrialResult,
+    TrialContext,
+    run_fault_trial,
+)
 
 __all__ = [
     "AdaptiveResult",
     "ClientStack",
+    "FaultTrialResult",
+    "TrialContext",
     "DEFAULT_PROCESSING_US",
     "DEFAULT_REPLY_BYTES",
     "DEFAULT_REQUEST_BYTES",
@@ -51,6 +59,7 @@ __all__ = [
     "deploy_replica",
     "deploy_replica_group",
     "run_adaptive_scenario",
+    "run_fault_trial",
     "run_overhead_modes",
     "run_replicated_load",
     "run_rtt_breakdown",

@@ -10,7 +10,7 @@ experiment report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.loss import BurstLoss, DelaySpike
@@ -54,12 +54,42 @@ class FaultInjector:
         self.injected.append(InjectedFault(
             kind="host_crash", target=host.name, at_us=at_us))
 
+    def crash_and_restart_at(self, process: Process, at_us: float,
+                             restart_after_us: float,
+                             restart: Optional[Callable[[], None]] = None
+                             ) -> None:
+        """Recovery fault: kill ``process`` at ``at_us`` and bring the
+        service back ``restart_after_us`` later.
+
+        The simulated process cannot literally be revived (its
+        middleware stack died with it), so recovery is delegated to
+        ``restart`` — typically a closure that redeploys the replica on
+        the same host (see ``TrialContext.respawn_replica``).  The
+        restart is skipped when the host itself is down at restart
+        time; crash-only semantics then apply.
+        """
+        self._check_future(at_us)
+        if restart_after_us <= 0:
+            raise ConfigurationError("restart delay must be positive")
+        self.sim.schedule_at(at_us, process.kill, "injected fault")
+
+        def do_restart() -> None:
+            if process.host.alive and restart is not None:
+                restart()
+
+        self.sim.schedule_at(at_us + restart_after_us, do_restart)
+        self.injected.append(InjectedFault(
+            kind="crash_restart", target=process.name, at_us=at_us,
+            until_us=at_us + restart_after_us))
+
     # ------------------------------------------------------------------
     # Communication faults
     # ------------------------------------------------------------------
     def loss_burst(self, start_us: float, end_us: float,
                    rate: float = 1.0) -> BurstLoss:
         """Transient communication fault: drop frames in a window."""
+        self._check_future(start_us)
+        self._check_window(start_us, end_us)
         model = BurstLoss(start_us, end_us, rate)
         self.network.add_loss_model(model)
         self.injected.append(InjectedFault(
@@ -73,6 +103,8 @@ class FaultInjector:
     def delay_spike(self, start_us: float, end_us: float,
                     extra_us: float) -> DelaySpike:
         """Timing fault: messages arrive, but late."""
+        self._check_future(start_us)
+        self._check_window(start_us, end_us)
         model = DelaySpike(start_us, end_us, extra_us)
         self.network.add_loss_model(model)
         self.injected.append(InjectedFault(
@@ -102,3 +134,10 @@ class FaultInjector:
             raise ConfigurationError(
                 f"cannot inject a fault in the past (t={at_us}, "
                 f"now={self.sim.now})")
+
+    @staticmethod
+    def _check_window(start_us: float, end_us: float) -> None:
+        if end_us <= start_us:
+            raise ConfigurationError(
+                f"fault window must end after it starts "
+                f"(start={start_us}, end={end_us})")

@@ -5,10 +5,16 @@ Public surface:
 - :func:`render_timeline`, :func:`render_series`,
   :func:`summarize_trace` — human-readable run inspection
 - :func:`profile_to_csv`, :func:`policy_to_csv`,
-  :func:`series_to_csv` — data export for external plotting
+  :func:`scores_to_csv`, :func:`series_to_csv` — data export for
+  external plotting
 """
 
-from repro.tools.export import policy_to_csv, profile_to_csv, series_to_csv
+from repro.tools.export import (
+    policy_to_csv,
+    profile_to_csv,
+    scores_to_csv,
+    series_to_csv,
+)
 from repro.tools.timeline import (
     DEFAULT_CATEGORIES,
     render_series,
@@ -22,6 +28,7 @@ __all__ = [
     "profile_to_csv",
     "render_series",
     "render_timeline",
+    "scores_to_csv",
     "series_to_csv",
     "summarize_trace",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, Optional, TextIO
+from typing import Iterable, Optional, Sequence, TextIO
 
 from repro.core.measurements import Profile
 from repro.core.policies import ScalabilityPolicy
@@ -51,6 +51,31 @@ def policy_to_csv(policy: ScalabilityPolicy,
             entry.n_clients, entry.config.label,
             f"{entry.latency_us:.2f}", f"{entry.bandwidth_mbps:.4f}",
             entry.faults_tolerated, f"{entry.cost:.4f}"])
+    text = buffer.getvalue()
+    if out is not None:
+        out.write(text)
+    return text
+
+
+SCORE_COLUMNS = ("config", "style", "n_replicas", "checkpoint_interval",
+                 "n_trials", "dependability", "availability",
+                 "failed_fraction", "late_fraction", "mean_recovery_us",
+                 "latency_us", "bandwidth_mbps", "resource_cost")
+
+
+def scores_to_csv(scores: Sequence, out: Optional[TextIO] = None) -> str:
+    """Write campaign :class:`~repro.campaign.DependabilityScore` rows
+    as CSV (best dependability first)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(SCORE_COLUMNS)
+    for s in sorted(scores, key=lambda s: -s.dependability):
+        writer.writerow([
+            s.config_key, s.style, s.n_replicas, s.checkpoint_interval,
+            s.n_trials, f"{s.dependability:.6f}", f"{s.availability:.6f}",
+            f"{s.failed_fraction:.6f}", f"{s.late_fraction:.6f}",
+            f"{s.mean_recovery_us:.2f}", f"{s.latency_us:.2f}",
+            f"{s.bandwidth_mbps:.4f}", f"{s.resource_cost:.4f}"])
     text = buffer.getvalue()
     if out is not None:
         out.write(text)

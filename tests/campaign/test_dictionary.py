@@ -1,0 +1,88 @@
+"""Fault-dictionary tests: every entry compiles onto a live trial."""
+
+import pytest
+
+from repro.campaign import (
+    LossBurst,
+    ProcessCrash,
+    available_loads,
+    compile_load,
+    fault_load,
+    register_load,
+)
+from repro.campaign.dictionary import _LOADS
+from repro.errors import ConfigurationError
+from repro.experiments import run_fault_trial
+from repro.replication import ReplicationStyle
+
+
+def run_with_load(name, **kwargs):
+    defaults = dict(style=ReplicationStyle.ACTIVE, n_replicas=2,
+                    n_clients=1, duration_us=300_000.0, rate_per_s=100.0,
+                    seed=3, settle_us=400_000.0,
+                    inject=lambda ctx: compile_load(name, ctx))
+    defaults.update(kwargs)
+    return run_fault_trial(**defaults)
+
+
+def test_every_builtin_load_compiles_and_runs():
+    for name in available_loads():
+        result = run_with_load(name)
+        assert len(result.injected) == len(fault_load(name)), name
+        assert result.sent > 0, name
+
+
+def test_none_load_injects_nothing():
+    result = run_with_load("none")
+    assert result.injected == []
+    assert result.availability == 1.0
+
+
+def test_process_crash_targets_primary_by_default():
+    result = run_with_load("process_crash")
+    assert result.injected[0].kind == "process_crash"
+    assert result.injected[0].target.endswith("r1")
+
+
+def test_crash_and_restart_records_recovery_window():
+    result = run_with_load("crash_and_restart", duration_us=400_000.0,
+                           settle_us=1_500_000.0)
+    fault = result.injected[0]
+    assert fault.kind == "crash_restart"
+    assert fault.until_us > fault.at_us
+
+
+def test_composite_load_schedules_all_entries():
+    result = run_with_load("crash_under_loss")
+    assert sorted(f.kind for f in result.injected) \
+        == ["loss_burst", "process_crash"]
+
+
+def test_unknown_load_rejected():
+    with pytest.raises(ConfigurationError):
+        fault_load("nope")
+
+
+def test_register_load_and_replace_guard():
+    try:
+        register_load("custom_test_load",
+                      (ProcessCrash(at_fraction=0.5),
+                       LossBurst(rate=0.5)))
+        assert "custom_test_load" in available_loads()
+        with pytest.raises(ConfigurationError):
+            register_load("custom_test_load", ())
+        register_load("custom_test_load", (), replace=True)
+        assert fault_load("custom_test_load") == ()
+    finally:
+        _LOADS.pop("custom_test_load", None)
+
+
+def test_bad_fraction_rejected_at_schedule_time():
+    with pytest.raises(ConfigurationError):
+        run_with_load("bad_fraction_load_missing")
+    try:
+        register_load("bad_fraction", (ProcessCrash(at_fraction=1.5),))
+        with pytest.raises(ConfigurationError):
+            run_with_load("bad_fraction")
+    finally:
+        _LOADS.pop("bad_fraction", None)

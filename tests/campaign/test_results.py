@@ -1,0 +1,156 @@
+"""Results-store tests: persistence, resume, schema, aggregation."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    SCHEMA_VERSION,
+    CampaignSpec,
+    DependabilityScore,
+    ResultsStore,
+    TrialRecord,
+    aggregate_scores,
+)
+from repro.errors import ConfigurationError
+
+
+def make_trial(fault="none", seed=0, style="active", n_replicas=2):
+    spec = CampaignSpec(name="t", styles=[style],
+                        replica_counts=[n_replicas],
+                        fault_loads=[fault], seeds=[seed],
+                        duration_us=100_000.0, rate_per_s=100.0)
+    return spec.expand()[0]
+
+
+def ok_record(trial, **metrics):
+    base = dict(sent=100, completed=100, failed=0, late=0,
+                failed_fraction=0.0, late_fraction=0.0,
+                availability=1.0, mean_recovery_us=0.0,
+                latency_mean_us=1500.0, jitter_us=10.0,
+                bandwidth_mbps=0.5, wire_bytes=1e6,
+                duration_us=100_000.0, faults=[])
+    base.update(metrics)
+    return TrialRecord(trial_id=trial.trial_id, status="ok",
+                       spec=trial.to_dict(), metrics=base)
+
+
+def test_append_and_reload(tmp_path):
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    assert store.records() == []
+    record = ok_record(make_trial())
+    store.append(record)
+    store.append(TrialRecord(trial_id="x", status="failed",
+                             spec=make_trial(seed=0).to_dict(),
+                             error="boom"))
+    loaded = store.records()
+    assert len(loaded) == 2
+    assert loaded[0] == record
+    assert loaded[1].error == "boom"
+    assert not loaded[1].ok
+
+
+def test_completed_ids_resume_semantics(tmp_path):
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    trial = make_trial()
+    store.append(ok_record(trial))
+    store.append(TrialRecord(trial_id="failed-one", status="timeout",
+                             spec=trial.to_dict(), error="slow"))
+    assert store.completed_ids() == {trial.trial_id}
+    assert store.completed_ids(include_failed=True) \
+        == {trial.trial_id, "failed-one"}
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    path = tmp_path / "r.jsonl"
+    store = ResultsStore(str(path))
+    store.append(ok_record(make_trial()))
+    with open(path, "a") as handle:
+        handle.write('{"schema": 1, "trial_id": "half')  # killed mid-write
+    assert len(store.records()) == 1
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    path = tmp_path / "r.jsonl"
+    store = ResultsStore(str(path))
+    store.append(ok_record(make_trial()))
+    with open(path, "a") as handle:
+        handle.write("garbage\n")
+        handle.write(ok_record(make_trial(seed=0)).to_line() + "\n")
+    with pytest.raises(ConfigurationError):
+        store.records()
+
+
+def test_newer_schema_rejected(tmp_path):
+    path = tmp_path / "r.jsonl"
+    line = ok_record(make_trial()).to_line()
+    data = json.loads(line)
+    data["schema"] = SCHEMA_VERSION + 1
+    path.write_text(json.dumps(data) + "\n" + line + "\n")
+    with pytest.raises(ConfigurationError):
+        ResultsStore(str(path)).records()
+
+
+def test_record_line_is_canonical():
+    record = ok_record(make_trial())
+    line = record.to_line()
+    assert "\n" not in line
+    assert TrialRecord.from_line(line).to_line() == line
+
+
+def test_bad_status_rejected():
+    with pytest.raises(ConfigurationError):
+        TrialRecord(trial_id="x", status="exploded", spec={})
+
+
+def test_clear(tmp_path):
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    store.append(ok_record(make_trial()))
+    store.clear()
+    assert not store.exists()
+    store.clear()  # idempotent
+
+
+def test_aggregation_groups_by_configuration():
+    records = [
+        ok_record(make_trial(fault="none"), availability=1.0,
+                  latency_mean_us=1000.0),
+        ok_record(make_trial(fault="process_crash"), availability=0.8,
+                  latency_mean_us=3000.0, failed_fraction=0.1),
+        ok_record(make_trial(style="warm_passive"), availability=0.9,
+                  latency_mean_us=2000.0),
+    ]
+    scores = aggregate_scores(records)
+    assert [s.config_key for s in scores] == ["A(2)/k1", "P(2)/k1"]
+    active = scores[0]
+    assert active.n_trials == 2
+    assert active.availability == pytest.approx(0.9)
+    assert active.latency_us == pytest.approx(2000.0)
+    assert active.failed_fraction == pytest.approx(0.05)
+    assert 0.0 < active.dependability <= 1.0
+    assert active.resource_cost > 0
+
+
+def test_failed_trials_score_as_total_outage():
+    trial = make_trial()
+    perfect = aggregate_scores([ok_record(trial)])[0]
+    with_failure = aggregate_scores([
+        ok_record(trial),
+        TrialRecord(trial_id="other", status="failed",
+                    spec=make_trial(fault="process_crash").to_dict(),
+                    error="worker died"),
+    ])[0]
+    assert with_failure.availability == pytest.approx(0.5)
+    assert with_failure.failed_fraction == pytest.approx(0.5)
+    assert with_failure.dependability < perfect.dependability
+
+
+def test_dependability_score_properties():
+    score = DependabilityScore(
+        config_key="A(3)/k1", style="active", n_replicas=3,
+        checkpoint_interval=1, n_clients=2, n_trials=4,
+        availability=0.9, failed_fraction=0.1, late_fraction=0.2,
+        mean_recovery_us=100.0, latency_us=1000.0,
+        bandwidth_mbps=0.4, resource_cost=0.2)
+    assert score.dependability == pytest.approx(0.9 * 0.9 * 0.8)
+    assert score.faults_tolerated == 2

@@ -1,0 +1,161 @@
+"""Campaign runner tests: serial/parallel execution, resume, crash
+isolation, progress reporting."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ProcessCrash,
+    ResultsStore,
+    register_load,
+    run_campaign,
+)
+from repro.campaign.dictionary import _LOADS, FaultEntry
+from repro.errors import ConfigurationError
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def tiny_spec(**overrides):
+    defaults = dict(name="runner-test", styles=["active"],
+                    replica_counts=[2], fault_loads=["none",
+                                                     "process_crash"],
+                    seeds=[0], n_clients=1, duration_us=200_000.0,
+                    rate_per_s=100.0, settle_us=400_000.0)
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def test_serial_campaign_records_every_trial(tmp_path):
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    spec = tiny_spec()
+    summary = run_campaign(spec, store, workers=1)
+    assert summary.total == 2
+    assert summary.ran == 2
+    assert summary.skipped == 0
+    assert summary.failed == 0
+    records = store.records()
+    assert [r.trial_id for r in records] \
+        == [t.trial_id for t in spec.expand()]
+    for record in records:
+        assert record.ok
+        assert record.metrics["sent"] > 0
+        assert 0.0 <= record.metrics["availability"] <= 1.0
+
+
+def test_resume_skips_recorded_trials(tmp_path):
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    spec = tiny_spec()
+    run_campaign(spec, store, workers=1)
+    full = open(store.path, "rb").read()
+
+    # Simulate an interruption: keep only the first trial's record.
+    lines = full.splitlines(keepends=True)
+    with open(store.path, "wb") as handle:
+        handle.write(lines[0])
+    summary = run_campaign(spec, store, workers=1)
+    assert summary.skipped == 1
+    assert summary.ran == 1
+    # The resumed store is byte-identical to the uninterrupted one.
+    assert open(store.path, "rb").read() == full
+
+
+def test_rerun_of_complete_campaign_is_a_noop(tmp_path):
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    spec = tiny_spec()
+    run_campaign(spec, store, workers=1)
+    before = open(store.path, "rb").read()
+    summary = run_campaign(spec, store, workers=1)
+    assert summary.ran == 0
+    assert summary.skipped == 2
+    assert open(store.path, "rb").read() == before
+
+
+def test_progress_callback_sees_every_trial(tmp_path):
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    seen = []
+    run_campaign(tiny_spec(), store, workers=1,
+                 progress=lambda done, total, record:
+                 seen.append((done, total, record.trial_id)))
+    assert [s[0] for s in seen] == [1, 2]
+    assert all(s[1] == 2 for s in seen)
+
+
+class _ExplodingFault(FaultEntry):
+    def schedule(self, ctx):
+        raise RuntimeError("deliberate trial explosion")
+
+
+class _WorkerKillingFault(FaultEntry):
+    def schedule(self, ctx):
+        os._exit(13)  # simulates a segfaulting worker
+
+
+def test_serial_crash_isolation(tmp_path):
+    register_load("exploding", (_ExplodingFault(),), replace=True)
+    try:
+        store = ResultsStore(str(tmp_path / "r.jsonl"))
+        spec = tiny_spec(fault_loads=["none", "exploding"])
+        summary = run_campaign(spec, store, workers=1)
+        assert summary.failed == 1
+        by_id = {r.trial_id: r for r in store.records()}
+        failed = [r for r in by_id.values() if not r.ok]
+        assert len(failed) == 1
+        assert "deliberate trial explosion" in failed[0].error
+        # The healthy trial still completed.
+        assert sum(1 for r in by_id.values() if r.ok) == 1
+    finally:
+        _LOADS.pop("exploding", None)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+def test_parallel_worker_exception_isolated(tmp_path):
+    register_load("exploding", (_ExplodingFault(),), replace=True)
+    try:
+        store = ResultsStore(str(tmp_path / "r.jsonl"))
+        spec = tiny_spec(fault_loads=["exploding", "none"])
+        summary = run_campaign(spec, store, workers=2)
+        assert summary.failed == 1
+        assert summary.ran == 2
+        statuses = {r.trial_id: r.status for r in store.records()}
+        assert sorted(statuses.values()) == ["failed", "ok"]
+    finally:
+        _LOADS.pop("exploding", None)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+def test_parallel_worker_death_isolated(tmp_path):
+    register_load("worker_killer", (_WorkerKillingFault(),),
+                  replace=True)
+    try:
+        store = ResultsStore(str(tmp_path / "r.jsonl"))
+        spec = tiny_spec(fault_loads=["worker_killer", "none"])
+        summary = run_campaign(spec, store, workers=2)
+        assert summary.failed == 1
+        failed = [r for r in store.records() if not r.ok]
+        assert len(failed) == 1
+        # EOF and process death race; either way the error is recorded.
+        assert failed[0].error
+    finally:
+        _LOADS.pop("worker_killer", None)
+
+
+def test_runner_validates_arguments(tmp_path):
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    with pytest.raises(ConfigurationError):
+        run_campaign(tiny_spec(), store, workers=0)
+    with pytest.raises(ConfigurationError):
+        run_campaign(tiny_spec(), store, workers=1, trial_timeout_s=0)
+
+
+def test_custom_entry_requires_schedule():
+    entry = FaultEntry()
+    with pytest.raises(NotImplementedError):
+        entry.schedule(None)
+
+
+def test_process_crash_entry_defaults():
+    assert ProcessCrash().replica_index == 0

@@ -88,6 +88,94 @@ def test_past_injection_rejected():
         injector.crash_host_at(testbed.hosts["s01"], at_us=testbed.now - 1)
 
 
+def test_past_process_crash_rejected():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
+    injector = _injector(testbed)
+    with pytest.raises(ConfigurationError):
+        injector.crash_process_at(replicas[0].process,
+                                  at_us=testbed.now - 1)
+
+
+def test_past_loss_burst_rejected():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
+    injector = _injector(testbed)
+    with pytest.raises(ConfigurationError):
+        injector.loss_burst(testbed.now - 10_000, testbed.now + 10_000)
+
+
+def test_past_delay_spike_rejected():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
+    injector = _injector(testbed)
+    with pytest.raises(ConfigurationError):
+        injector.delay_spike(testbed.now - 10_000, testbed.now + 10_000,
+                             extra_us=500.0)
+
+
+def test_inverted_window_rejected():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
+    injector = _injector(testbed)
+    with pytest.raises(ConfigurationError):
+        injector.loss_burst(testbed.now + 20_000, testbed.now + 10_000)
+    with pytest.raises(ConfigurationError):
+        injector.delay_spike(testbed.now + 20_000, testbed.now + 10_000,
+                             extra_us=500.0)
+    assert injector.injected == []
+
+
+def test_past_cpu_hog_rejected():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
+    injector = _injector(testbed)
+    with pytest.raises(ConfigurationError):
+        injector.cpu_hog_at(testbed.hosts["s01"], testbed.now - 1,
+                            busy_us=1_000.0)
+
+
+def test_crash_and_restart_recovers_service():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE, seed=4)
+    injector = _injector(testbed)
+    restarted = []
+    injector.crash_and_restart_at(replicas[1].process,
+                                  at_us=testbed.now + 50_000,
+                                  restart_after_us=100_000,
+                                  restart=lambda: restarted.append(True))
+    testbed.run(100_000)
+    assert not replicas[1].alive
+    assert not restarted
+    testbed.run(100_000)
+    assert restarted == [True]
+    fault = injector.injected[0]
+    assert fault.kind == "crash_restart"
+    assert fault.until_us == fault.at_us + 100_000
+
+
+def test_crash_and_restart_validates():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
+    injector = _injector(testbed)
+    with pytest.raises(ConfigurationError):
+        injector.crash_and_restart_at(replicas[0].process,
+                                      at_us=testbed.now - 1,
+                                      restart_after_us=100)
+    with pytest.raises(ConfigurationError):
+        injector.crash_and_restart_at(replicas[0].process,
+                                      at_us=testbed.now + 100,
+                                      restart_after_us=0)
+
+
+def test_crash_and_restart_skips_restart_on_dead_host():
+    testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
+    injector = _injector(testbed)
+    restarted = []
+    injector.crash_and_restart_at(replicas[1].process,
+                                  at_us=testbed.now + 10_000,
+                                  restart_after_us=100_000,
+                                  restart=lambda: restarted.append(True))
+    # The host dies before the restart point: recovery must not fire.
+    injector.crash_host_at(replicas[1].process.host,
+                           at_us=testbed.now + 50_000)
+    testbed.run(300_000)
+    assert not restarted
+
+
 def test_invalid_cpu_hog():
     testbed, replicas, clients = build_rig(ReplicationStyle.ACTIVE)
     injector = _injector(testbed)
@@ -102,5 +190,11 @@ def test_injection_log_records_everything():
     injector.crash_process_at(replicas[0].process, testbed.now + 1000)
     injector.loss_burst(testbed.now, testbed.now + 100)
     injector.delay_spike(testbed.now, testbed.now + 100, 50.0)
+    injector.cpu_hog_at(testbed.hosts["s02"], testbed.now + 1, 500.0)
+    injector.crash_and_restart_at(replicas[1].process, testbed.now + 2000,
+                                  restart_after_us=1000)
+    injector.crash_host_at(testbed.hosts["s03"], testbed.now + 3000)
     assert [f.kind for f in injector.injected] == [
-        "process_crash", "loss_burst", "delay_spike"]
+        "process_crash", "loss_burst", "delay_spike", "cpu_hog",
+        "crash_restart", "host_crash"]
+    assert all(f.target for f in injector.injected)

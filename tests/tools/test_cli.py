@@ -60,3 +60,60 @@ def test_verify_command_passes(capsys):
     out = capsys.readouterr().out
     assert "verify: PASS" in out
     assert "Table 2 pattern" in out
+
+
+def _write_campaign_spec(tmp_path):
+    import json
+
+    spec = {
+        "name": "cli-test", "styles": ["active"],
+        "replica_counts": [2], "checkpoint_intervals": [1],
+        "fault_loads": ["none", "process_crash"], "seeds": [0],
+        "n_clients": 1, "duration_us": 200000.0, "rate_per_s": 100.0,
+        "deadline_us": 7000.0, "settle_us": 400000.0,
+        "base_seed": 0, "version": 1,
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def test_campaign_command_runs_and_resumes(tmp_path, capsys):
+    spec = _write_campaign_spec(tmp_path)
+    results = tmp_path / "out.jsonl"
+    csv_path = tmp_path / "scores.csv"
+
+    assert main(["campaign", str(spec), "--results", str(results),
+                 "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 trial" in out or "ran 2" in out
+    assert "Pareto" in out
+    assert results.exists()
+    assert len(results.read_text().splitlines()) == 2
+    assert csv_path.read_text().startswith("config,")
+
+    # Second invocation resumes: every trial is already recorded.
+    assert main(["campaign", str(spec), "--results",
+                 str(results)]) == 0
+    out = capsys.readouterr().out
+    assert "skipped 2" in out
+    assert len(results.read_text().splitlines()) == 2
+
+
+def test_campaign_command_fresh_rerun(tmp_path, capsys):
+    spec = _write_campaign_spec(tmp_path)
+    results = tmp_path / "out.jsonl"
+    assert main(["campaign", str(spec), "--results",
+                 str(results)]) == 0
+    first = results.read_bytes()
+    capsys.readouterr()
+    assert main(["campaign", str(spec), "--results", str(results),
+                 "--fresh", "--quiet"]) == 0
+    assert results.read_bytes() == first
+
+
+def test_campaign_command_rejects_bad_spec(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["campaign", str(bad)]) == 2
+    assert "bad spec" in capsys.readouterr().err
