@@ -39,8 +39,14 @@ DEFAULT_TRIAL_TIMEOUT_S = 300.0
 ProgressFn = Callable[[int, int, Optional[TrialRecord]], None]
 
 
-def execute_trial(trial: TrialSpec) -> TrialRecord:
-    """Run one trial in the current process and build its record."""
+def execute_trial(trial: TrialSpec,
+                  telemetry: bool = False) -> TrialRecord:
+    """Run one trial in the current process and build its record.
+
+    ``telemetry=True`` records spans during the trial and attaches the
+    per-trial telemetry summary to the record's metrics; the default
+    keeps records byte-identical to pre-telemetry campaigns.
+    """
     from repro.experiments.trial import run_fault_trial  # lazy: keeps
     # campaign importable without dragging the full stack in at startup
 
@@ -51,7 +57,8 @@ def execute_trial(trial: TrialSpec) -> TrialRecord:
         rate_per_s=trial.rate_per_s, seed=trial.seed,
         checkpoint_interval=trial.checkpoint_interval,
         deadline_us=trial.deadline_us, settle_us=trial.settle_us,
-        inject=lambda ctx: compile_load(trial.fault_load, ctx))
+        inject=lambda ctx: compile_load(trial.fault_load, ctx),
+        telemetry=telemetry)
     return TrialRecord(trial_id=trial.trial_id, status="ok",
                        spec=trial.to_dict(), metrics=result.metrics())
 
@@ -62,11 +69,12 @@ def _failure_record(trial: TrialSpec, status: str,
                        spec=trial.to_dict(), error=error)
 
 
-def _trial_worker(conn, trial_dict: Dict[str, object]) -> None:
+def _trial_worker(conn, trial_dict: Dict[str, object],
+                  telemetry: bool = False) -> None:
     """Worker-process entry point: run one trial, ship the record."""
     trial = TrialSpec.from_dict(trial_dict)
     try:
-        record = execute_trial(trial)
+        record = execute_trial(trial, telemetry=telemetry)
         conn.send(("ok", record.to_line()))
     except BaseException:  # noqa: BLE001 - the whole point is isolation
         conn.send(("error", traceback.format_exc(limit=20)))
@@ -110,7 +118,8 @@ class CampaignRunner:
     def __init__(self, spec: CampaignSpec, store: ResultsStore,
                  workers: int = 1,
                  trial_timeout_s: float = DEFAULT_TRIAL_TIMEOUT_S,
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None,
+                 telemetry: bool = False):
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if trial_timeout_s <= 0:
@@ -120,6 +129,7 @@ class CampaignRunner:
         self.workers = workers
         self.trial_timeout_s = trial_timeout_s
         self.progress = progress
+        self.telemetry = telemetry
 
     def run(self) -> CampaignSummary:
         """Run every not-yet-completed trial; returns the summary."""
@@ -149,7 +159,7 @@ class CampaignRunner:
         done = skipped
         for _, trial in todo:
             try:
-                record = execute_trial(trial)
+                record = execute_trial(trial, telemetry=self.telemetry)
             except Exception:  # crash isolation, in-process flavour
                 record = _failure_record(
                     trial, "failed", traceback.format_exc(limit=20))
@@ -186,7 +196,8 @@ class CampaignRunner:
                 index, trial = pending.pop(0)
                 parent, child = ctx.Pipe(duplex=False)
                 process = ctx.Process(
-                    target=_trial_worker, args=(child, trial.to_dict()),
+                    target=_trial_worker,
+                    args=(child, trial.to_dict(), self.telemetry),
                     daemon=True)
                 process.start()
                 child.close()
@@ -248,9 +259,9 @@ class CampaignRunner:
 def run_campaign(spec: CampaignSpec, store: ResultsStore,
                  workers: int = 1,
                  trial_timeout_s: float = DEFAULT_TRIAL_TIMEOUT_S,
-                 progress: Optional[ProgressFn] = None
-                 ) -> CampaignSummary:
+                 progress: Optional[ProgressFn] = None,
+                 telemetry: bool = False) -> CampaignSummary:
     """Convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(spec, store, workers=workers,
                           trial_timeout_s=trial_timeout_s,
-                          progress=progress).run()
+                          progress=progress, telemetry=telemetry).run()

@@ -8,6 +8,7 @@
 - ``adaptive``  — run the Fig. 6 adaptive-replication scenario
 - ``report``    — regenerate the full EXPERIMENTS.md report
 - ``campaign``  — run a fault-injection campaign from a spec file
+- ``trace``     — record a traced run; export spans/metrics
 """
 
 from __future__ import annotations
@@ -141,7 +142,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
         summary = run_campaign(spec, store, workers=args.workers,
                                trial_timeout_s=args.trial_timeout,
-                               progress=progress)
+                               progress=progress,
+                               telemetry=args.telemetry)
     except ConfigurationError as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
@@ -167,6 +169,62 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             write_markdown(spec, scores, out=handle)
         print(f"wrote {args.markdown}")
     return 0 if summary.failed == 0 else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record one traced run and export its spans/metrics."""
+    from repro.experiments.scenarios import run_replicated_load
+    from repro.telemetry import (
+        breakdown_table,
+        chrome_trace_json,
+        component_breakdown,
+        prometheus_text,
+        spans_to_csv,
+        telemetry_summary,
+    )
+
+    if args.replicas < 1 or args.clients < 1 or args.requests < 1:
+        print("trace: replicas, clients and requests must be >= 1",
+              file=sys.stderr)
+        return 2
+    style = ReplicationStyle(args.style)
+    result = run_replicated_load(
+        style, n_replicas=args.replicas, n_clients=args.clients,
+        n_requests=args.requests, seed=args.seed,
+        keep_timelines=True, telemetry=True)
+    recorder = result.telemetry
+    assert recorder is not None
+
+    if args.format == "chrome":
+        rendered = chrome_trace_json(recorder.spans)
+    elif args.format == "prometheus":
+        rendered = prometheus_text(recorder.metrics)
+    elif args.format == "csv":
+        rendered = spans_to_csv(recorder.spans)
+    else:  # summary
+        summary = telemetry_summary(recorder)
+        lines = [f"traced {summary['traces']} requests "
+                 f"({summary['spans']} spans, "
+                 f"{summary['dropped']} dropped, "
+                 f"{summary['open_spans']} left open)",
+                 f"latency p50 {summary['latency_p50_us']:.0f} us, "
+                 f"p99 {summary['latency_p99_us']:.0f} us", ""]
+        lines.append(f"{'component':<22}{'measured us':>12}"
+                     f"{'paper us':>10}")
+        for component, measured, ref in breakdown_table(
+                component_breakdown(recorder.spans),
+                PAPER_FIG3_BREAKDOWN):
+            paper = f"{ref:>10.1f}" if ref is not None else " " * 10
+            lines.append(f"{component:<22}{measured:>12.1f}{paper}")
+        rendered = "\n".join(lines) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(rendered)
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -211,9 +269,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Versatile Dependability (DSN 2004) reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument("--seed", type=int, default=0,
                         help="simulation seed (default 0)")
     parser.add_argument("--requests", type=int, default=150,
@@ -265,6 +327,29 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="export a Markdown report")
     campaign_parser.add_argument("--quiet", action="store_true",
                                  help="suppress per-trial progress lines")
+    campaign_parser.add_argument("--telemetry", action="store_true",
+                                 help="record spans during trials and "
+                                      "attach per-trial telemetry "
+                                      "summaries to the records")
+
+    trace_parser = sub.add_parser(
+        "trace", help="record a traced run and export spans/metrics")
+    trace_parser.add_argument(
+        "--style", default=ReplicationStyle.ACTIVE.value,
+        choices=[s.value for s in ReplicationStyle],
+        help="replication style (default active)")
+    trace_parser.add_argument("--replicas", type=int, default=1,
+                              help="replica count (default 1)")
+    trace_parser.add_argument("--clients", type=int, default=1,
+                              help="client count (default 1)")
+    trace_parser.add_argument(
+        "--format", default="summary",
+        choices=["summary", "chrome", "prometheus", "csv"],
+        help="export format (default summary; chrome = Chrome "
+             "trace-event JSON for chrome://tracing / Perfetto)")
+    trace_parser.add_argument("--out",
+                              help="write the export to a file "
+                                   "instead of stdout")
 
     sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
     sub.add_parser("verify",
@@ -279,6 +364,7 @@ _COMMANDS = {
     "adaptive": _cmd_adaptive,
     "campaign": _cmd_campaign,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "verify": _cmd_verify,
 }
 

@@ -7,8 +7,8 @@ parameters; the examples call them with smaller ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.adaptation import AdaptationManager
 from repro.core.measurements import ConfigPoint, Measurement, Profile
@@ -30,14 +30,14 @@ from repro.orb import (
     OrbServer,
     TcpClientTransport,
     TcpServerTransport,
-    average_timelines,
+    TimelineAggregate,
 )
 from repro.replication import (
     ClientReplicationConfig,
     ReplicationConfig,
     ReplicationStyle,
 )
-from repro.sim import SubstrateCalibration
+from repro.sim import SubstrateCalibration, default_calibration
 from repro.workload import (
     ClosedLoopClient,
     OpenLoopClient,
@@ -67,6 +67,10 @@ class ScenarioResult:
     completed: int
     breakdown: Dict[str, float] = field(default_factory=dict)
     per_client_latency_us: List[float] = field(default_factory=list)
+    #: Cross-request per-component stats (set when timelines are kept).
+    timeline_stats: Optional[TimelineAggregate] = None
+    #: The run's span/metrics recorder (set when telemetry was on).
+    telemetry: Optional[Any] = None
 
     def as_measurement(self) -> Measurement:
         """Convert to a profile :class:`Measurement`."""
@@ -95,10 +99,19 @@ def run_replicated_load(style: ReplicationStyle, n_replicas: int,
                         processing_us: float = DEFAULT_PROCESSING_US,
                         checkpoint_interval: int = 1,
                         keep_timelines: bool = False,
-                        calibration: Optional[SubstrateCalibration] = None
-                        ) -> ScenarioResult:
+                        calibration: Optional[SubstrateCalibration] = None,
+                        telemetry: bool = False) -> ScenarioResult:
     """Closed-loop load (the paper's request cycle) against a
-    replicated service; measures latency, jitter and bandwidth."""
+    replicated service; measures latency, jitter and bandwidth.
+
+    ``telemetry=True`` turns on span recording for the run (overriding
+    the calibration's telemetry knob); the recorder is returned on
+    ``ScenarioResult.telemetry``.
+    """
+    if telemetry:
+        base = calibration or default_calibration()
+        calibration = replace(
+            base, telemetry=replace(base.telemetry, enabled=True))
     testbed = Testbed.paper_testbed(n_replicas, n_clients, seed=seed,
                                     calibration=calibration)
     config = ReplicationConfig(
@@ -148,6 +161,7 @@ def run_replicated_load(style: ReplicationStyle, n_replicas: int,
     if len(latencies) > 1:
         jitter = (sum((v - mean) ** 2 for v in latencies)
                   / len(latencies)) ** 0.5
+    stats = TimelineAggregate().extend(timelines) if timelines else None
     return ScenarioResult(
         style=style, n_replicas=n_replicas, n_clients=n_clients,
         latency_mean_us=mean, jitter_us=jitter,
@@ -155,8 +169,11 @@ def run_replicated_load(style: ReplicationStyle, n_replicas: int,
         throughput_per_s=(completed / duration * 1e6 if duration > 0
                           else 0.0),
         duration_us=duration, completed=completed,
-        breakdown=average_timelines(t for t in timelines),
-        per_client_latency_us=per_client)
+        breakdown=stats.breakdown() if stats else {},
+        per_client_latency_us=per_client,
+        timeline_stats=stats,
+        telemetry=(testbed.sim.telemetry
+                   if testbed.sim.telemetry.enabled else None))
 
 
 def build_profile(client_counts: Sequence[int] = (1, 2, 3, 4, 5),

@@ -48,6 +48,11 @@ class Testbed:
         self.calibration = calibration or default_calibration()
         self.calibration.validate()
         self.sim = Simulator(seed=seed)
+        if self.calibration.telemetry.enabled:
+            from repro.telemetry.spans import Telemetry
+            self.sim.telemetry = Telemetry(
+                max_spans=self.calibration.telemetry.max_spans,
+                trace=self.sim.trace)
         self.network = Network(self.sim, self.calibration.network)
         self.hosts: Dict[str, Host] = {}
         self.daemons: Dict[str, GcsDaemon] = {}

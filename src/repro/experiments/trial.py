@@ -107,6 +107,10 @@ class FaultTrialResult:
     bandwidth_mbps: float
     wire_bytes: float
     injected: List[InjectedFault]
+    #: Span-recorder summary (``telemetry_summary``) when the trial ran
+    #: with telemetry on; None otherwise, keeping default records (and
+    #: campaign JSONL) byte-identical to pre-telemetry runs.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def failed_fraction(self) -> float:
@@ -136,6 +140,8 @@ class FaultTrialResult:
                 {"kind": f.kind, "target": f.target, "at_us": f.at_us,
                  "until_us": f.until_us}
                 for f in self.injected],
+            **({"telemetry": self.telemetry}
+               if self.telemetry is not None else {}),
         }
 
 
@@ -151,8 +157,8 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
                     reply_bytes: int = DEFAULT_REPLY_BYTES,
                     state_bytes: int = DEFAULT_STATE_BYTES,
                     processing_us: float = DEFAULT_PROCESSING_US,
-                    calibration: Optional[SubstrateCalibration] = None
-                    ) -> FaultTrialResult:
+                    calibration: Optional[SubstrateCalibration] = None,
+                    telemetry: bool = False) -> FaultTrialResult:
     """Run one open-loop load window with an optional fault load.
 
     ``inject`` receives a :class:`TrialContext` after warm-up and may
@@ -174,6 +180,12 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
     if deadline_us <= 0:
         raise ConfigurationError("deadline must be positive")
 
+    if telemetry:
+        from dataclasses import replace
+        from repro.sim import default_calibration
+        base = calibration or default_calibration()
+        calibration = replace(
+            base, telemetry=replace(base.telemetry, enabled=True))
     testbed = Testbed.paper_testbed(n_replicas, max(n_clients, 1),
                                     seed=seed, calibration=calibration)
     config = ReplicationConfig(
@@ -236,6 +248,11 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
     mean_recovery = (sum(recoveries) / len(recoveries)
                      if recoveries else 0.0)
 
+    telemetry_digest = None
+    if testbed.sim.telemetry.enabled:
+        from repro.telemetry.analysis import telemetry_summary
+        telemetry_digest = telemetry_summary(testbed.sim.telemetry)
+
     return FaultTrialResult(
         style=style, n_replicas=n_replicas, n_clients=n_clients,
         duration_us=duration_us, sent=sent, completed=completed,
@@ -245,4 +262,5 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
         recovery_times_us=recoveries, latency_mean_us=mean,
         jitter_us=jitter,
         bandwidth_mbps=wire_bytes / elapsed if elapsed > 0 else 0.0,
-        wire_bytes=wire_bytes, injected=list(injector.injected))
+        wire_bytes=wire_bytes, injected=list(injector.injected),
+        telemetry=telemetry_digest)

@@ -102,12 +102,21 @@ class GcsClient(Actor, ClientPort):
         """Multicast to ``group`` (membership not required: open groups)."""
         if nbytes < 0:
             raise GroupCommunicationError(f"negative payload size {nbytes}")
+        self._count("gcs_sent_total", kind="multicast")
         self.daemon.client_multicast(group, self.member, payload, nbytes,
                                      grade)
 
     def send_direct(self, dst: MemberId, payload: Any, nbytes: int) -> None:
         """Reliable point-to-point message to another connected process."""
+        self._count("gcs_sent_total", kind="direct")
         self.daemon.client_send_direct(self.member, dst, payload, nbytes)
+
+    def _count(self, name: str, **extra: str) -> None:
+        """Bump a telemetry counter (no-op when telemetry is off)."""
+        registry = getattr(self.sim.telemetry, "metrics", None)
+        if registry is not None:
+            registry.counter(name, host=self.process.host.name,
+                             process=self.process.name, **extra).inc()
 
     def on_direct(self, handler: Callable[[MemberId, Any, int], None]) -> None:
         """Install the handler for incoming point-to-point messages."""
@@ -134,6 +143,7 @@ class GcsClient(Actor, ClientPort):
             return
         listener = self._listeners.get(group)
         if listener is not None:
+            self._count("gcs_delivered_total", kind="multicast")
             listener.on_message(group, sender, payload, nbytes)
 
     def deliver_view(self, view: GroupView, joined: List[MemberId],
@@ -160,6 +170,7 @@ class GcsClient(Actor, ClientPort):
         if not self.alive:
             return
         if self._direct_handler is not None:
+            self._count("gcs_delivered_total", kind="direct")
             self._direct_handler(sender, payload, nbytes)
 
     # ------------------------------------------------------------------

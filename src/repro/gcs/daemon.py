@@ -64,9 +64,11 @@ from repro.gcs.messages import (
 from repro.gcs.vector_clock import VectorClock
 from repro.net.frame import Endpoint, Frame
 from repro.net.network import Network
+from repro.orb.accounting import COMPONENT_GCS
 from repro.sim.actor import Actor
 from repro.sim.config import GcsCalibration
 from repro.sim.host import Process
+from repro.telemetry.context import payload_context
 
 #: Well-known daemon port (Spread's default).
 GCS_PORT = 4803
@@ -318,7 +320,25 @@ class GcsDaemon(Actor):
     def _on_reliable(self, peer: str, inner: Any, nbytes: int) -> None:
         """In-order reliable delivery from ``peer``: charge daemon CPU
         then dispatch on the message type."""
-        self._cpu(lambda: self._dispatch(peer, inner))
+        telemetry = self.sim.telemetry
+        span = None
+        if telemetry.enabled:
+            # Application frames carry their trace context (read
+            # through the payload wrappers); the hop span nests under
+            # the in-flight transit span.
+            ctx = payload_context(inner)
+            if ctx is not None:
+                span = telemetry.begin(
+                    ctx, "gcsd.process", COMPONENT_GCS,
+                    host=self.host.name, process=self.name,
+                    now=self.sim.now, peer=peer)
+        if span is None:
+            self._cpu(lambda: self._dispatch(peer, inner))
+        else:
+            def dispatched() -> None:
+                telemetry.end(span, self.sim.now)
+                self._dispatch(peer, inner)
+            self._cpu(dispatched)
 
     def _cpu(self, continuation: Callable[[], None]) -> None:
         demand = self.cal.daemon_processing_us
@@ -683,6 +703,7 @@ class GcsDaemon(Actor):
         port = self._clients.get(message.dst)
         if port is None:
             return
+        self._emit_ipc_span(message)
         self.sim.schedule(self.cal.local_ipc_us, self._guard(
             lambda: port.deliver_direct(message.src, message.payload,
                                         message.payload_bytes)))
@@ -695,8 +716,21 @@ class GcsDaemon(Actor):
         port = self._clients.get(member)
         if port is None:
             return
+        self._emit_ipc_span(payload)
         self.sim.schedule(self.cal.local_ipc_us, self._guard(
             lambda: port.deliver_message(group, sender, payload, nbytes)))
+
+    def _emit_ipc_span(self, payload: Any) -> None:
+        """Record the daemon->client local-IPC hop as a pre-closed span
+        (its cost is pure scheduling delay, no CPU involved)."""
+        telemetry = self.sim.telemetry
+        if not telemetry.enabled:
+            return
+        ctx = payload_context(payload)
+        if ctx is not None:
+            telemetry.emit(ctx, "gcsd.ipc", COMPONENT_GCS,
+                           self.sim.now, self.sim.now + self.cal.local_ipc_us,
+                           host=self.host.name, process=self.name)
 
     def _deliver_view_to(self, member: MemberId, view: GroupView,
                          joined: List[MemberId], left: List[MemberId],

@@ -126,8 +126,25 @@ class LinkAck:
     cum_seq: int
 
 
+class _CarriesTrace:
+    """Mixin for payload-bearing wrappers: expose the telemetry trace
+    context of the wrapped application message.
+
+    Duck-typed read-through — replication payloads (RepRequest /
+    RepReply) define ``trace_context``; control traffic and raw test
+    payloads do not and yield None.  This is the GCS half of trace
+    propagation: daemons look here to join a frame to its trace
+    without understanding the payload.
+    """
+
+    @property
+    def trace_context(self):
+        inner = getattr(self, "payload", None)
+        return getattr(inner, "trace_context", None)
+
+
 @dataclass(frozen=True)
-class Forward:
+class Forward(_CarriesTrace):
     """Origin daemon asks the sequencer to stamp a totally-ordered
     message (AGREED, or SAFE when ``safe`` is set)."""
 
@@ -147,7 +164,7 @@ class StampKind(enum.Enum):
 
 
 @dataclass(frozen=True)
-class Stamped:
+class Stamped(_CarriesTrace):
     """A sequencer-ordered event in a group's total-order stream.
 
     ``seq`` is contiguous per group.  JOIN/LEAVE stamps are routed to
@@ -200,7 +217,7 @@ class LeaveRequest:
 
 
 @dataclass(frozen=True)
-class Direct:
+class Direct(_CarriesTrace):
     """Point-to-point message between connected processes."""
 
     dst: MemberId
@@ -210,7 +227,7 @@ class Direct:
 
 
 @dataclass(frozen=True)
-class FifoData:
+class FifoData(_CarriesTrace):
     """Sender-ordered group data (FIFO grade), multicast directly by
     the origin daemon over reliable links."""
 
@@ -221,7 +238,7 @@ class FifoData:
 
 
 @dataclass(frozen=True)
-class CausalData:
+class CausalData(_CarriesTrace):
     """Causally-ordered group data: vector clock keyed by origin host."""
 
     group: str
@@ -232,7 +249,7 @@ class CausalData:
 
 
 @dataclass(frozen=True)
-class RawData:
+class RawData(_CarriesTrace):
     """Best-effort group data: one unreliable frame per member daemon."""
 
     group: str

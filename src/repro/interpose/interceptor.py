@@ -28,6 +28,7 @@ from repro.orb.transport import (
 )
 from repro.sim.config import InterposeCalibration
 from repro.sim.host import Process
+from repro.telemetry.context import context_of
 
 
 class InterceptedClientTransport(ClientTransport):
@@ -46,8 +47,17 @@ class InterceptedClientTransport(ClientTransport):
         self.calls_intercepted += 1
         cost = self.cal.intercept_us
         request.timeline.add(COMPONENT_REPLICATOR, cost)
+        telemetry = self.process.sim.telemetry
+        span = None
+        if telemetry.enabled:
+            span = telemetry.begin(
+                context_of(request), "intercept.request",
+                COMPONENT_REPLICATOR, host=self.process.host.name,
+                process=self.process.name, now=self.process.sim.now)
 
         def forward() -> None:
+            if telemetry.enabled:
+                telemetry.end(span, self.process.sim.now)
             if not self.process.alive:
                 return
             self.inner.send_request(request, intercept_reply)
@@ -55,9 +65,20 @@ class InterceptedClientTransport(ClientTransport):
         def intercept_reply(reply: GiopReply) -> None:
             self.calls_intercepted += 1
             reply.timeline.add(COMPONENT_REPLICATOR, cost)
-            self.process.host.cpu.execute(
-                cost,
-                lambda: on_reply(reply) if self.process.alive else None)
+            reply_span = None
+            if telemetry.enabled:
+                reply_span = telemetry.begin(
+                    context_of(reply), "intercept.reply",
+                    COMPONENT_REPLICATOR, host=self.process.host.name,
+                    process=self.process.name, now=self.process.sim.now)
+
+            def deliver() -> None:
+                if telemetry.enabled:
+                    telemetry.end(reply_span, self.process.sim.now)
+                if self.process.alive:
+                    on_reply(reply)
+
+            self.process.host.cpu.execute(cost, deliver)
 
         self.process.host.cpu.execute(cost, forward)
 
@@ -84,18 +105,40 @@ class InterceptedServerTransport(ServerTransport):
                               send_reply: ReplyHandler) -> None:
             self.calls_intercepted += 1
             request.timeline.add(COMPONENT_REPLICATOR, cost)
+            telemetry = self.process.sim.telemetry
+            span = None
+            if telemetry.enabled:
+                span = telemetry.begin(
+                    context_of(request), "intercept.request",
+                    COMPONENT_REPLICATOR, host=self.process.host.name,
+                    process=self.process.name, now=self.process.sim.now)
 
             def intercepted_reply(reply: GiopReply) -> None:
                 self.calls_intercepted += 1
                 reply.timeline.add(COMPONENT_REPLICATOR, cost)
-                self.process.host.cpu.execute(
-                    cost,
-                    lambda: send_reply(reply) if self.process.alive else None)
+                reply_span = None
+                if telemetry.enabled:
+                    reply_span = telemetry.begin(
+                        context_of(reply), "intercept.reply",
+                        COMPONENT_REPLICATOR, host=self.process.host.name,
+                        process=self.process.name,
+                        now=self.process.sim.now)
 
-            self.process.host.cpu.execute(
-                cost,
-                lambda: (on_request(request, intercepted_reply)
-                         if self.process.alive else None))
+                def deliver() -> None:
+                    if telemetry.enabled:
+                        telemetry.end(reply_span, self.process.sim.now)
+                    if self.process.alive:
+                        send_reply(reply)
+
+                self.process.host.cpu.execute(cost, deliver)
+
+            def dispatch() -> None:
+                if telemetry.enabled:
+                    telemetry.end(span, self.process.sim.now)
+                if self.process.alive:
+                    on_request(request, intercepted_reply)
+
+            self.process.host.cpu.execute(cost, dispatch)
 
         return self.inner.start(intercept_request)
 

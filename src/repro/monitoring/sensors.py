@@ -26,6 +26,14 @@ class MetricsSnapshot:
     request_rate_per_s: float = 0.0
     bandwidth_mbps: float = 0.0
     cpu_utilization: float = 0.0
+    #: Quantiles from the telemetry registry's latency histogram
+    #: (0.0 when telemetry is off or no samples landed yet).
+    latency_p50_us: float = 0.0
+    latency_p99_us: float = 0.0
+    #: Replicator intake-queue depth and last checkpoint size, read
+    #: from the telemetry registry when present.
+    queue_depth: float = 0.0
+    checkpoint_bytes: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict rendition for publication/serialization."""
@@ -36,6 +44,10 @@ class MetricsSnapshot:
             "request_rate_per_s": self.request_rate_per_s,
             "bandwidth_mbps": self.bandwidth_mbps,
             "cpu_utilization": self.cpu_utilization,
+            "latency_p50_us": self.latency_p50_us,
+            "latency_p99_us": self.latency_p99_us,
+            "queue_depth": self.queue_depth,
+            "checkpoint_bytes": self.checkpoint_bytes,
         }
 
 
@@ -110,18 +122,28 @@ class CpuSensor:
 
 
 class MetricsHub:
-    """All sensors of one process, snapshot-able in one call."""
+    """All sensors of one process, snapshot-able in one call.
+
+    When the simulator runs with telemetry enabled, the hub reads the
+    shared :class:`~repro.telemetry.metrics.MetricsRegistry` too, so
+    snapshots gain latency quantiles, queue depth and checkpoint
+    size alongside the windowed sensor values (``registry=None`` and
+    disabled telemetry both degrade to zeros).
+    """
 
     def __init__(self, sim: Simulator,
                  network_stats: Optional[NetworkStats] = None,
                  cpu: Optional[Cpu] = None,
-                 window_us: float = 1_000_000.0):
+                 window_us: float = 1_000_000.0,
+                 registry: Optional[object] = None):
         self.sim = sim
         self.latency = LatencySensor(window_us)
         self.rate = RateSensor(window_us)
         self.bandwidth = BandwidthSensor(network_stats) \
             if network_stats is not None else None
         self.cpu = CpuSensor(cpu) if cpu is not None else None
+        self.registry = (registry if registry is not None
+                         else getattr(sim.telemetry, "metrics", None))
 
     def record_request(self) -> None:
         """Count one request arrival now."""
@@ -134,6 +156,19 @@ class MetricsHub:
     def snapshot(self) -> MetricsSnapshot:
         """Freeze all sensors into a :class:`MetricsSnapshot`."""
         now = self.sim.now
+        p50 = p99 = queue = ckpt = 0.0
+        registry = self.registry
+        if registry is not None:
+            latency = registry.merged_histogram("request_latency_us")
+            if latency is not None and latency.count:
+                p50 = latency.quantile(0.50)
+                p99 = latency.quantile(0.99)
+            depths = [metric.value for _, metric
+                      in registry.find("replicator_queue_depth")]
+            queue = max(depths) if depths else 0.0
+            ckpts = registry.merged_histogram("checkpoint_bytes")
+            if ckpts is not None and ckpts.count:
+                ckpt = ckpts.mean
         return MetricsSnapshot(
             time=now,
             latency_mean_us=self.latency.mean(now),
@@ -143,4 +178,8 @@ class MetricsHub:
                             if self.bandwidth is not None else 0.0),
             cpu_utilization=(self.cpu.sample(now)
                              if self.cpu is not None else 0.0),
+            latency_p50_us=p50,
+            latency_p99_us=p99,
+            queue_depth=queue,
+            checkpoint_bytes=ckpt,
         )

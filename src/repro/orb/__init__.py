@@ -18,7 +18,9 @@ from repro.orb.accounting import (
     COMPONENT_NETWORK,
     COMPONENT_ORB,
     COMPONENT_REPLICATOR,
+    ComponentStats,
     RequestTimeline,
+    TimelineAggregate,
     average_timelines,
 )
 from repro.orb.client import OrbClient
@@ -50,6 +52,7 @@ __all__ = [
     "COMPONENT_ORB",
     "COMPONENT_REPLICATOR",
     "ClientTransport",
+    "ComponentStats",
     "CounterServant",
     "EchoServant",
     "GiopReply",
@@ -65,6 +68,7 @@ __all__ = [
     "ServiceAddress",
     "TcpClientTransport",
     "TcpServerTransport",
+    "TimelineAggregate",
     "average_timelines",
     "marshalled_size",
     "padded",

@@ -101,3 +101,88 @@ def average_timelines(timelines: Iterable[RequestTimeline]) -> Dict[str, float]:
     if count == 0:
         return {}
     return {component: micros / count for component, micros in totals.items()}
+
+
+class ComponentStats:
+    """Distribution of one component's per-request contribution."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: list = []
+
+    def add(self, micros: float) -> None:
+        """Record one latency sample in microseconds."""
+        self.samples.append(micros)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_us(self) -> float:
+        """Mean of the recorded samples; 0.0 when empty."""
+        return (sum(self.samples) / len(self.samples)
+                if self.samples else 0.0)
+
+    def percentile_us(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 1]); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1]: {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    @property
+    def p99_us(self) -> float:
+        """99th-percentile sample; 0.0 when empty."""
+        return self.percentile_us(0.99)
+
+
+class TimelineAggregate:
+    """Cross-request aggregation over :class:`RequestTimeline`\\ s.
+
+    The structured replacement for ad-hoc averaging in benchmarks:
+    feed it every completed request's timeline and read per-component
+    mean/p99 plus the total round-trip distribution.
+    """
+
+    def __init__(self) -> None:
+        self.per_component: Dict[str, ComponentStats] = {}
+        self.totals = ComponentStats()
+
+    def add(self, timeline: RequestTimeline) -> None:
+        """Fold one completed request's timeline in."""
+        for component, micros in timeline.components().items():
+            self.per_component.setdefault(
+                component, ComponentStats()).add(micros)
+        self.totals.add(timeline.total())
+
+    def extend(self, timelines: Iterable[RequestTimeline]
+               ) -> "TimelineAggregate":
+        """Fold many timelines in; returns ``self`` for chaining."""
+        for timeline in timelines:
+            self.add(timeline)
+        return self
+
+    @property
+    def count(self) -> int:
+        return self.totals.count
+
+    def mean_us(self, component: str) -> float:
+        """Mean microseconds attributed to ``component``; 0.0 if unseen."""
+        stats = self.per_component.get(component)
+        return stats.mean_us if stats else 0.0
+
+    def p99_us(self, component: str) -> float:
+        """p99 microseconds attributed to ``component``; 0.0 if unseen."""
+        stats = self.per_component.get(component)
+        return stats.p99_us if stats else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-component means — the Fig. 3 shape, drop-in compatible
+        with :func:`average_timelines`."""
+        return {component: stats.mean_us
+                for component, stats in self.per_component.items()}

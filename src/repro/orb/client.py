@@ -11,6 +11,7 @@ from repro.orb.giop import GiopReply, GiopRequest
 from repro.orb.transport import ClientTransport
 from repro.sim.config import OrbCalibration
 from repro.sim.host import Process
+from repro.telemetry.context import context_of, set_context
 
 
 class OrbClient:
@@ -50,8 +51,26 @@ class OrbClient:
         marshal_us = (self.cal.marshal_fixed_us
                       + self.cal.marshal_per_byte_us * payload_bytes)
         request.timeline.add(COMPONENT_ORB, marshal_us)
+        telemetry = self.sim.telemetry
+        ctx = None
+        marshal_span = None
+        if telemetry.enabled:
+            # The root span covers the whole round trip; it is the
+            # trace every downstream hop joins via the service context.
+            ctx = telemetry.start_trace(
+                request_id, "request", host=self.process.host.name,
+                process=self.process.name, now=self.sim.now,
+                operation=operation)
+            if ctx is not None:
+                set_context(request, ctx)
+                marshal_span = telemetry.begin(
+                    ctx, "client.marshal", COMPONENT_ORB,
+                    host=self.process.host.name,
+                    process=self.process.name, now=self.sim.now)
 
         def after_marshal() -> None:
+            if telemetry.enabled:
+                telemetry.end(marshal_span, self.sim.now)
             if not self.process.alive:
                 return
             self.transport.send_request(request, handle_reply)
@@ -63,6 +82,13 @@ class OrbClient:
                             + self.cal.demarshal_per_byte_us
                             * reply.payload_bytes)
             reply.timeline.add(COMPONENT_ORB, demarshal_us)
+            demarshal_span = None
+            reply_ctx = context_of(reply) or ctx
+            if telemetry.enabled and reply_ctx is not None:
+                demarshal_span = telemetry.begin(
+                    reply_ctx, "client.demarshal", COMPONENT_ORB,
+                    host=self.process.host.name,
+                    process=self.process.name, now=self.sim.now)
 
             def after_demarshal() -> None:
                 if not self.process.alive:
@@ -72,6 +98,9 @@ class OrbClient:
                 # outbound components — no merge needed.
                 reply.timeline.started_at = request.timeline.started_at
                 reply.timeline.completed_at = self.sim.now
+                if telemetry.enabled and reply_ctx is not None:
+                    telemetry.end(demarshal_span, self.sim.now)
+                    telemetry.finish_trace(reply_ctx, self.sim.now)
                 on_reply(reply)
 
             self.process.host.cpu.execute(demarshal_us, after_demarshal)

@@ -4,13 +4,19 @@ Sizes are modelled explicitly: ``payload_bytes`` is the marshalled
 argument/result size and the transport adds the GIOP header.  The
 timeline object rides along with each message so every layer can
 attribute its latency contribution (paper Fig. 3).
+
+``service_contexts`` models GIOP's service-context list: out-of-band
+key/value metadata that middleware layers attach without the
+application noticing.  The telemetry layer stores its trace context
+there (see :mod:`repro.telemetry.context`); replies inherit the
+request's contexts so the trace survives the round trip.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 from repro.orb.accounting import RequestTimeline
 
@@ -34,15 +40,22 @@ class GiopRequest:
     oneway: bool = False
     timeline: RequestTimeline = field(default_factory=RequestTimeline,
                                       compare=False)
+    service_contexts: Dict[str, Any] = field(default_factory=dict,
+                                             compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
             raise ValueError("payload_bytes must be non-negative")
 
     def fork(self) -> "GiopRequest":
-        """Copy with a forked timeline, for fan-out to replicas."""
+        """Copy with a forked timeline, for fan-out to replicas.
+
+        Service contexts are copied too (each replica updates its own
+        trace context independently of its siblings).
+        """
         from dataclasses import replace
-        return replace(self, timeline=self.timeline.fork())
+        return replace(self, timeline=self.timeline.fork(),
+                       service_contexts=dict(self.service_contexts))
 
 
 @dataclass(frozen=True)
@@ -59,6 +72,8 @@ class GiopReply:
     replica_info: Optional[dict] = None
     timeline: RequestTimeline = field(default_factory=RequestTimeline,
                                       compare=False)
+    service_contexts: Dict[str, Any] = field(default_factory=dict,
+                                             compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

@@ -18,6 +18,7 @@ from repro.orb.servant import Servant, ServantResult
 from repro.orb.transport import ReplyHandler, ServerTransport, ServiceAddress
 from repro.sim.config import OrbCalibration
 from repro.sim.host import Process
+from repro.telemetry.context import context_of
 
 
 class OrbServer:
@@ -96,8 +97,16 @@ class OrbServer:
                         * request.payload_bytes)
         request.timeline.add(COMPONENT_ORB, demarshal_us + self.cal.dispatch_us)
         cpu = self.process.host.cpu
+        telemetry = self.sim.telemetry
+        ctx = context_of(request) if telemetry.enabled else None
+        demarshal_span = telemetry.begin(
+            ctx, "server.demarshal", COMPONENT_ORB,
+            host=self.process.host.name, process=self.process.name,
+            now=self.sim.now) if ctx is not None else None
 
         def dispatch() -> None:
+            if ctx is not None:
+                telemetry.end(demarshal_span, self.sim.now)
             if not self.process.alive:
                 return
             servant = self._servants.get(request.object_key)
@@ -114,8 +123,18 @@ class OrbServer:
                              status=ReplyStatus.EXCEPTION)
                 return
             request.timeline.add(COMPONENT_APPLICATION, result.processing_us)
-            cpu.execute(result.processing_us, lambda: self._finish(
-                request, send_reply, result, status=ReplyStatus.OK))
+            execute_span = telemetry.begin(
+                ctx, "server.execute", COMPONENT_APPLICATION,
+                host=self.process.host.name, process=self.process.name,
+                now=self.sim.now) if ctx is not None else None
+
+            def executed() -> None:
+                if ctx is not None:
+                    telemetry.end(execute_span, self.sim.now)
+                self._finish(request, send_reply, result,
+                             status=ReplyStatus.OK)
+
+            cpu.execute(result.processing_us, executed)
 
         cpu.execute(demarshal_us + self.cal.dispatch_us, dispatch)
 
@@ -128,11 +147,25 @@ class OrbServer:
             return
         marshal_us = (self.cal.marshal_fixed_us
                       + self.cal.marshal_per_byte_us * result.payload_bytes)
+        # The reply inherits the request's service contexts (same dict:
+        # reply-path layers keep updating the trace context in place).
         reply = GiopReply(request_id=request.request_id, status=status,
                           payload=result.payload,
                           payload_bytes=result.payload_bytes,
-                          timeline=request.timeline)
+                          timeline=request.timeline,
+                          service_contexts=request.service_contexts)
         reply.timeline.add(COMPONENT_ORB, marshal_us)
-        self.process.host.cpu.execute(
-            marshal_us,
-            lambda: send_reply(reply) if self.process.alive else None)
+        telemetry = self.sim.telemetry
+        ctx = context_of(reply) if telemetry.enabled else None
+        marshal_span = telemetry.begin(
+            ctx, "server.marshal", COMPONENT_ORB,
+            host=self.process.host.name, process=self.process.name,
+            now=self.sim.now) if ctx is not None else None
+
+        def marshalled() -> None:
+            if ctx is not None:
+                telemetry.end(marshal_span, self.sim.now)
+            if self.process.alive:
+                send_reply(reply)
+
+        self.process.host.cpu.execute(marshal_us, marshalled)

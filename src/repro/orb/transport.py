@@ -24,6 +24,7 @@ from repro.orb.accounting import COMPONENT_NETWORK
 from repro.orb.giop import GiopReply, GiopRequest
 from repro.sim.config import OrbCalibration
 from repro.sim.host import Process
+from repro.telemetry.context import context_of, set_context
 
 ReplyHandler = Callable[[GiopReply], None]
 RequestHandler = Callable[[GiopRequest, ReplyHandler], None]
@@ -105,6 +106,16 @@ class TcpClientTransport(ClientTransport):
         if not request.oneway:
             self._waiting[request.request_id] = on_reply
         request.timeline.mark_handoff(self.process.sim.now)
+        telemetry = self.process.sim.telemetry
+        if telemetry.enabled:
+            ctx = context_of(request)
+            if ctx is not None:
+                _, carried = telemetry.begin_transit(
+                    ctx, "net.request", COMPONENT_NETWORK,
+                    self.process.sim.now, host=self.process.host.name,
+                    process=self.process.name)
+                if carried is not None:
+                    set_context(request, carried)
         self.network.send(
             self._local, Endpoint(self.server.host, self.server.port),
             _TcpEnvelope(message=request, reply_to=self._local),
@@ -122,6 +133,12 @@ class TcpClientTransport(ClientTransport):
         if handler is not None:
             reply.timeline.absorb_transit(COMPONENT_NETWORK,
                                           self.process.sim.now)
+            telemetry = self.process.sim.telemetry
+            if telemetry.enabled:
+                ctx = context_of(reply)
+                if ctx is not None:
+                    telemetry.finish_inflight(ctx, self.process.sim.now)
+                    set_context(reply, ctx.at_root())
             handler(reply)
 
     def close(self) -> None:
@@ -164,10 +181,26 @@ class TcpServerTransport(ServerTransport):
             return
         request.timeline.absorb_transit(COMPONENT_NETWORK,
                                         self.process.sim.now)
+        telemetry = self.process.sim.telemetry
+        if telemetry.enabled:
+            ctx = context_of(request)
+            if ctx is not None:
+                telemetry.finish_inflight(ctx, self.process.sim.now)
+                set_context(request, ctx.at_root())
         reply_to = payload.reply_to
 
         def send_reply(reply: GiopReply) -> None:
             reply.timeline.mark_handoff(self.process.sim.now)
+            if telemetry.enabled:
+                reply_ctx = context_of(reply)
+                if reply_ctx is not None:
+                    _, carried = telemetry.begin_transit(
+                        reply_ctx, "net.reply", COMPONENT_NETWORK,
+                        self.process.sim.now,
+                        host=self.process.host.name,
+                        process=self.process.name)
+                    if carried is not None:
+                        set_context(reply, carried)
             self.network.send(
                 Endpoint(self.process.host.name, self.port), reply_to,
                 _TcpEnvelope(message=reply, reply_to=reply_to),

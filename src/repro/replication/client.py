@@ -37,6 +37,8 @@ from repro.replication.styles import (
 )
 from repro.sim.actor import Actor
 from repro.sim.config import InterposeCalibration
+from repro.telemetry.context import context_of, set_context
+from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS_US
 
 
 class _Outstanding:
@@ -90,8 +92,19 @@ class ClientReplicator(Actor, ClientTransport):
         if not request.oneway:
             self._outstanding[request.request_id] = entry
         request.timeline.add(COMPONENT_REPLICATOR, self.ical.redirect_us)
+        telemetry = self.sim.telemetry
+        redirect_span = None
+        if telemetry.enabled:
+            ctx = context_of(request)
+            if ctx is not None:
+                redirect_span = telemetry.begin(
+                    ctx, "client.redirect", COMPONENT_REPLICATOR,
+                    host=self.process.host.name,
+                    process=self.process.name, now=self.sim.now)
 
         def dispatch() -> None:
+            if telemetry.enabled:
+                telemetry.end(redirect_span, self.sim.now)
             if not self.alive:
                 return
             self._transmit(entry, first_attempt=True)
@@ -109,6 +122,20 @@ class ClientReplicator(Actor, ClientTransport):
         entry.attempts += 1
         request = entry.rep.request
         request.timeline.mark_handoff(self.sim.now)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            ctx = context_of(request)
+            if ctx is not None:
+                # A retry opens a fresh transit span; the copy that
+                # reaches a replica first closes the one it carried,
+                # any earlier (lost) attempt's span stays open.
+                _, carried = telemetry.begin_transit(
+                    ctx.at_root(), "gcs.request", COMPONENT_GCS,
+                    self.sim.now, host=self.process.host.name,
+                    process=self.process.name,
+                    attempt=str(entry.attempts))
+                if carried is not None:
+                    set_context(request, carried)
         target = self._routing_target() if first_attempt else None
         if target is not None:
             self.gcs.send_direct(target, entry.rep, entry.rep.wire_bytes)
@@ -201,12 +228,41 @@ class ClientReplicator(Actor, ClientTransport):
         reply = rep_reply.reply
         reply.timeline.absorb_transit(COMPONENT_GCS, self.sim.now)
         reply.timeline.add(COMPONENT_REPLICATOR, self.ical.redirect_us)
+        telemetry = self.sim.telemetry
+        accept_span = None
+        if telemetry.enabled:
+            ctx = context_of(reply)
+            if ctx is not None:
+                telemetry.finish_inflight(ctx, self.sim.now)
+                ctx = ctx.at_root()
+                set_context(reply, ctx)
+                accept_span = telemetry.begin(
+                    ctx, "client.accept", COMPONENT_REPLICATOR,
+                    host=self.process.host.name,
+                    process=self.process.name, now=self.sim.now)
+            latency_hist = self._latency_hist()
+            if latency_hist is not None \
+                    and reply.timeline.started_at is not None:
+                latency_hist.observe(self.sim.now
+                                     - reply.timeline.started_at)
 
         def deliver() -> None:
+            if telemetry.enabled:
+                telemetry.end(accept_span, self.sim.now)
             if self.alive:
                 entry.on_reply(reply)
 
         self.process.host.cpu.execute(self.ical.redirect_us, deliver)
+
+    def _latency_hist(self):
+        """Round-trip latency histogram in the telemetry registry, or
+        None when telemetry is off."""
+        registry = getattr(self.sim.telemetry, "metrics", None)
+        if registry is None:
+            return None
+        return registry.histogram(
+            "request_latency_us", bounds=DEFAULT_LATENCY_BUCKETS_US,
+            host=self.process.host.name, process=self.process.name)
 
     # ==================================================================
     # Group view tracking

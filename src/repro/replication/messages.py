@@ -13,6 +13,7 @@ from typing import Any, Optional
 from repro.gcs.messages import MemberId
 from repro.orb.giop import GiopReply, GiopRequest
 from repro.replication.styles import ReplicationStyle
+from repro.telemetry.context import context_of
 
 #: Fixed replication-layer header added to every message's wire size.
 REP_HEADER_BYTES = 40
@@ -31,6 +32,12 @@ class RepRequest:
     @property
     def wire_bytes(self) -> int:
         return self.request.payload_bytes + REP_HEADER_BYTES
+
+    @property
+    def trace_context(self):
+        """Telemetry context, read through to the wrapped GIOP request
+        (the GCS daemons use this to join a frame to its trace)."""
+        return context_of(self.request)
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,11 @@ class RepReply:
     @property
     def wire_bytes(self) -> int:
         return self.reply.payload_bytes + REP_HEADER_BYTES
+
+    @property
+    def trace_context(self):
+        """Telemetry context, read through to the wrapped GIOP reply."""
+        return context_of(self.reply)
 
 
 @dataclass(frozen=True)

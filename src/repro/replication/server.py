@@ -50,6 +50,11 @@ from repro.replication.styles import ReplicationConfig, ReplicationStyle
 from repro.replication.switch import SwitchPhase, SwitchRecord, SwitchState
 from repro.sim.actor import Actor
 from repro.sim.config import InterposeCalibration, ReplicationCalibration
+from repro.telemetry.context import context_of, set_context
+from repro.telemetry.metrics import (
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_US,
+)
 
 #: Reply-cache bound (duplicate suppression window).
 SEEN_CACHE_LIMIT = 8192
@@ -118,6 +123,34 @@ class ServerReplicator(Actor, ServerTransport):
         self.checkpoints_sent = 0
         self.checkpoints_applied = 0
         self.relays = 0
+
+    # ==================================================================
+    # Telemetry metrics (registry-backed; all no-ops when disabled)
+    # ==================================================================
+    def _registry(self):
+        """Telemetry metrics registry, or None when telemetry is off."""
+        return getattr(self.sim.telemetry, "metrics", None)
+
+    def _labels(self) -> Dict[str, str]:
+        return {"host": self.process.host.name,
+                "process": self.process.name}
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        registry = self._registry()
+        if registry is not None:
+            registry.counter(name, **self._labels()).inc(amount)
+
+    def _observe(self, name: str, value: float, bounds) -> None:
+        registry = self._registry()
+        if registry is not None:
+            registry.histogram(name, bounds=bounds,
+                               **self._labels()).observe(value)
+
+    def _note_queue(self) -> None:
+        registry = self._registry()
+        if registry is not None:
+            registry.gauge("replicator_queue_depth",
+                           **self._labels()).set(len(self._queue))
 
     # ==================================================================
     # ServerTransport interface (called by OrbServer)
@@ -216,6 +249,7 @@ class ServerReplicator(Actor, ServerTransport):
         if self._switch is not None or self._paused or not self._synced:
             if via_group:
                 self._queue.append(rep)
+                self._note_queue()
             else:
                 # Point-to-point requests arriving mid-switch are
                 # re-multicast so every (soon-to-be-active) replica
@@ -260,6 +294,7 @@ class ServerReplicator(Actor, ServerTransport):
             if cached is not None:
                 # At-most-once semantics: resend the cached reply.
                 self.duplicates_suppressed += 1
+                self._count("replicator_duplicates_total")
                 self.gcs.send_direct(rep.client, cached, cached.wire_bytes)
             return
         self._remember(req_id, None)
@@ -272,10 +307,27 @@ class ServerReplicator(Actor, ServerTransport):
         overhead = (self.ical.redirect_us + self.rcal.duplicate_check_us
                     + self.rcal.logging_us)
         local.timeline.add(COMPONENT_REPLICATOR, overhead)
+        telemetry = self.sim.telemetry
+        process_span = None
+        ctx = None
+        service_start = self.sim.now
+        if telemetry.enabled:
+            ctx = context_of(local)
+            if ctx is not None:
+                telemetry.finish_inflight(ctx, self.sim.now)
+                ctx = ctx.at_root()
+                set_context(local, ctx)
+                process_span = telemetry.begin(
+                    ctx, "server.process", COMPONENT_REPLICATOR,
+                    host=self.process.host.name,
+                    process=self.process.name, now=self.sim.now,
+                    style=self.style.value)
 
         def hand_to_orb() -> None:
             if not self.alive:
                 return
+            if telemetry.enabled:
+                telemetry.end(process_span, self.sim.now)
             assert self._on_request is not None
             self._on_request(local, lambda reply: finish(reply))
 
@@ -285,11 +337,27 @@ class ServerReplicator(Actor, ServerTransport):
             if tracked:
                 self._inflight -= 1
             self.requests_processed += 1
+            self._count("replicator_requests_total")
             rep_reply = RepReply(reply=reply, replica=self.member,
                                  style=self.style, primary=self.primary,
                                  broadcast=self.config.broadcast_requests)
             self._remember(req_id, rep_reply)
             reply.timeline.add(COMPONENT_REPLICATOR, self.ical.redirect_us)
+            reply_ctx = context_of(reply) if telemetry.enabled else None
+            if reply_ctx is not None:
+                # The redirect cost above is charged without elapsing
+                # simulated time (it overlaps the reply transit), so
+                # the matching span is emitted pre-closed rather than
+                # measured.
+                telemetry.emit(
+                    reply_ctx, "server.redirect", COMPONENT_REPLICATOR,
+                    self.sim.now, self.sim.now + self.ical.redirect_us,
+                    host=self.process.host.name,
+                    process=self.process.name, style=self.style.value)
+            if telemetry.enabled:
+                self._observe("replica_service_us",
+                              self.sim.now - service_start,
+                              DEFAULT_LATENCY_BUCKETS_US)
             if not self.transmits_replies:
                 # Semi-active follower: execute for state consistency
                 # and fast failover, but suppress the output (it is
@@ -301,9 +369,17 @@ class ServerReplicator(Actor, ServerTransport):
                 self._held_replies.append((rep.client, rep_reply))
             else:
                 reply.timeline.mark_handoff(self.sim.now)
+                if reply_ctx is not None:
+                    _, carried = telemetry.begin_transit(
+                        reply_ctx.at_root(), "gcs.reply", COMPONENT_GCS,
+                        self.sim.now, host=self.process.host.name,
+                        process=self.process.name)
+                    if carried is not None:
+                        set_context(reply, carried)
                 self.gcs.send_direct(rep.client, rep_reply,
                                      rep_reply.wire_bytes)
                 self.replies_sent += 1
+                self._count("replicator_replies_total")
             self._after_request()
             if tracked and self._inflight == 0:
                 self._fire_drain_waiters()
@@ -331,10 +407,22 @@ class ServerReplicator(Actor, ServerTransport):
 
     def _release_held_replies(self) -> None:
         held, self._held_replies = self._held_replies, []
+        telemetry = self.sim.telemetry
         for client, rep_reply in held:
-            rep_reply.reply.timeline.mark_handoff(self.sim.now)
+            reply = rep_reply.reply
+            reply.timeline.mark_handoff(self.sim.now)
+            if telemetry.enabled:
+                ctx = context_of(reply)
+                if ctx is not None:
+                    _, carried = telemetry.begin_transit(
+                        ctx.at_root(), "gcs.reply", COMPONENT_GCS,
+                        self.sim.now, host=self.process.host.name,
+                        process=self.process.name, held="1")
+                    if carried is not None:
+                        set_context(reply, carried)
             self.gcs.send_direct(client, rep_reply, rep_reply.wire_bytes)
             self.replies_sent += 1
+            self._count("replicator_replies_total")
 
     def _after_request(self) -> None:
         """Post-processing hook: periodic checkpointing for the styles
@@ -376,6 +464,10 @@ class ServerReplicator(Actor, ServerTransport):
         ckpt = Checkpoint(ckpt_id=self._ckpt_ids, state=state,
                           state_bytes=wire_state, source=self.member,
                           final_for=final_for, sync_for=sync_for)
+        if self.sim.telemetry.enabled:
+            self._count("replicator_checkpoints_total")
+            self._observe("checkpoint_bytes", wire_state,
+                          DEFAULT_BYTES_BUCKETS)
         backups = max(0, len(self.view.members) - 1) if self.view else 0
         cost = (self.rcal.checkpoint_fixed_us
                 + self.rcal.checkpoint_per_byte_us * nbytes  # full state
@@ -534,6 +626,7 @@ class ServerReplicator(Actor, ServerTransport):
                 self._process(rep)
             elif self.config.broadcast_requests:
                 self._request_log.append(rep)
+        self._note_queue()
 
     def _when_drained(self, action: Callable[[], None]) -> None:
         if self._inflight == 0:
@@ -577,10 +670,22 @@ class ServerReplicator(Actor, ServerTransport):
             self.trace("repl.switch",
                        "refusing switch to cold passive without a store")
             return
+        telemetry = self.sim.telemetry
+        switch_ctx = None
+        if telemetry.enabled:
+            # A style switch gets its own trace: the root span covers
+            # steps II-III at this replica (Fig. 6's switch delay).
+            switch_ctx = telemetry.start_trace(
+                f"switch:{command.switch_id}:{self.process.name}",
+                name="switch", host=self.process.host.name,
+                process=self.process.name, now=self.sim.now,
+                from_style=self.style.value,
+                to_style=command.target.value)
         self._switch = SwitchState(switch_id=command.switch_id,
                                    from_style=self.style,
                                    target=command.target,
-                                   started_at=self.sim.now)
+                                   started_at=self.sim.now,
+                                   trace_ctx=switch_ctx)
         self.trace("repl.switch",
                    f"step II: preparing {self.style.value} -> "
                    f"{command.target.value}", switch_id=command.switch_id)
@@ -606,6 +711,8 @@ class ServerReplicator(Actor, ServerTransport):
         queued = len(self._queue)
         switch.phase = SwitchPhase.COMPLETE
         switch.completed_at = self.sim.now
+        if switch.trace_ctx is not None:
+            self.sim.telemetry.finish_trace(switch.trace_ctx, self.sim.now)
         self.style = switch.target
         self._switch = None
         self._since_ckpt = 0
@@ -632,6 +739,7 @@ class ServerReplicator(Actor, ServerTransport):
         during the switch (keeping its state aligned with the new
         primary at the switch point), then stops processing."""
         outstanding, self._queue = self._queue, []
+        self._note_queue()
         for rep in outstanding:
             self._process(rep)
 
@@ -645,6 +753,8 @@ class ServerReplicator(Actor, ServerTransport):
         queued = len(self._queue)
         switch.phase = SwitchPhase.ROLLED_BACK
         switch.completed_at = self.sim.now
+        if switch.trace_ctx is not None:
+            self.sim.telemetry.finish_trace(switch.trace_ctx, self.sim.now)
         self.style = switch.target
         self._switch = None
         self._release_held_replies()

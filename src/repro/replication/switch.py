@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.replication.styles import ReplicationStyle
 
@@ -44,6 +44,9 @@ class SwitchState:
     #: (Fig. 5 case 1) has been observed.
     final_checkpoint_seen: bool = False
     completed_at: Optional[float] = None
+    #: Telemetry trace context covering the switch (None when
+    #: telemetry is off); the root span is closed at step III.
+    trace_ctx: Optional[Any] = None
 
     @property
     def passive_to_active(self) -> bool:

@@ -22,10 +22,11 @@ from repro.sim.config import (
     PAPER_LATENCY_LIMIT_US,
     ReplicationCalibration,
     SubstrateCalibration,
+    TelemetryConfig,
     default_calibration,
 )
 from repro.sim.host import Cpu, Host, Process
-from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.kernel import NULL_TELEMETRY, EventHandle, NullTelemetry, Simulator
 from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
@@ -36,7 +37,9 @@ __all__ = [
     "Host",
     "HostCalibration",
     "InterposeCalibration",
+    "NULL_TELEMETRY",
     "NetworkCalibration",
+    "NullTelemetry",
     "OrbCalibration",
     "PAPER_BANDWIDTH_LIMIT_MBPS",
     "PAPER_COST_WEIGHT",
@@ -46,6 +49,7 @@ __all__ = [
     "ReplicationCalibration",
     "Simulator",
     "SubstrateCalibration",
+    "TelemetryConfig",
     "TraceLog",
     "TraceRecord",
     "default_calibration",

@@ -160,6 +160,27 @@ class HostCalibration:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """The single switch for the observability layer.
+
+    Off by default: the simulator keeps its no-op recorder and the
+    instrumentation sites reduce to one guarded branch.  When enabled,
+    the testbed attaches a :class:`repro.telemetry.Telemetry` recorder
+    capped at ``max_spans`` (further spans are counted as dropped, not
+    recorded, so long campaigns cannot exhaust memory).  Recording
+    adds **no simulated time** either way.
+    """
+
+    enabled: bool = False
+    max_spans: int = 200_000
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on invalid fields."""
+        if self.max_spans < 1:
+            raise ConfigurationError("max_spans must be positive")
+
+
+@dataclass(frozen=True)
 class SubstrateCalibration:
     """Bundle of all substrate cost models with paper-anchored defaults."""
 
@@ -170,6 +191,7 @@ class SubstrateCalibration:
     replication: ReplicationCalibration = field(
         default_factory=ReplicationCalibration)
     host: HostCalibration = field(default_factory=HostCalibration)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on any invalid field."""
@@ -179,6 +201,7 @@ class SubstrateCalibration:
         self.interpose.validate()
         self.replication.validate()
         self.host.validate()
+        self.telemetry.validate()
 
     def with_overrides(self, **sections) -> "SubstrateCalibration":
         """Return a copy with whole sections replaced, e.g.

@@ -76,6 +76,63 @@ def _fired(*_args: Any) -> None:
     """Sentinel marking an event that has already been dispatched."""
 
 
+class NullTelemetry:
+    """Disabled trace recorder: the default for every simulator.
+
+    Mirrors the interface of :class:`repro.telemetry.spans.Telemetry`
+    as pure no-ops.  It lives here — dependency-free — so the kernel
+    never imports the telemetry package; instrumented code guards on
+    ``sim.telemetry.enabled`` and pays one attribute load plus one
+    branch when telemetry is off.
+    """
+
+    enabled = False
+    spans: tuple = ()
+    metrics = None
+    dropped = 0
+    open_spans = 0
+
+    def start_trace(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real recorder would open a root span."""
+        return None
+
+    def begin(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real recorder would open a child span."""
+        return None
+
+    def begin_transit(self, ctx: Any = None, *_args: Any,
+                      **_kwargs: Any) -> tuple:
+        """No-op; returns ``(None, ctx)`` so the context passes through unchanged."""
+        return None, ctx
+
+    def emit(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real recorder would record a charged span."""
+        return None
+
+    def end(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real recorder would close the span."""
+        return None
+
+    def finish_inflight(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real recorder would close the transit span."""
+        return None
+
+    def finish_trace(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real recorder would close the root span."""
+        return None
+
+    def traces(self) -> dict:
+        """Return an empty mapping: nothing is ever recorded."""
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared stateless no-op recorder.
+NULL_TELEMETRY = NullTelemetry()
+
+
 class Simulator:
     """Event-heap simulator with a microsecond clock.
 
@@ -95,6 +152,11 @@ class Simulator:
         self.rng = random.Random(seed)
         self.seed = seed
         self.trace = trace if trace is not None else TraceLog()
+        #: Trace recorder; the no-op by default.  The testbed swaps in
+        #: a :class:`repro.telemetry.Telemetry` when calibration says
+        #: so.  Recording is observation-only (never schedules events),
+        #: so results are identical whichever recorder is attached.
+        self.telemetry: Any = NULL_TELEMETRY
         self._heap: List[EventHandle] = []
         self._seq = itertools.count()
         self._running = False

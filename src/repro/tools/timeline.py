@@ -25,6 +25,7 @@ DEFAULT_CATEGORIES = (
     ("repl.recovery", "RECOVER"),
     ("repl.sync", "SYNC"),
     ("adapt.switch", "ADAPT"),
+    ("telemetry.drop", "TELEM"),
     ("workload.done", "DONE"),
 )
 

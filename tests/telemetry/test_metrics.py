@@ -1,0 +1,146 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram(bounds=(10.0, 100.0))
+        for value in (5, 10, 50, 1000):
+            h.observe(value)
+        # <=10, <=100, +Inf
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == 1065.0
+        assert h.mean == pytest.approx(266.25)
+
+    def test_requires_sorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(100.0, 10.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_quantile_interpolates(self):
+        h = Histogram(bounds=(100.0, 200.0))
+        for _ in range(10):
+            h.observe(150.0)  # all in the (100, 200] bucket
+        # Rank interpolation within the bucket: p50 lands mid-bucket.
+        assert h.quantile(0.5) == pytest.approx(150.0)
+        assert 100.0 < h.quantile(0.01) <= h.quantile(0.99) <= 200.0
+
+    def test_quantile_overflow_clamps_to_last_bound(self):
+        h = Histogram(bounds=(10.0,))
+        h.observe(1e9)
+        assert h.quantile(0.99) == 10.0
+
+    def test_quantile_empty_and_bad_q(self):
+        h = Histogram(bounds=(10.0,))
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_adds_counts(self):
+        a = Histogram(bounds=(10.0, 100.0))
+        b = Histogram(bounds=(10.0, 100.0))
+        a.observe(5)
+        b.observe(50)
+        b.observe(500)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.sum == 555.0
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(10.0,)).merge(Histogram(bounds=(20.0,)))
+
+    def test_to_dict_round_trips_state(self):
+        h = Histogram(bounds=(10.0,))
+        h.observe(3)
+        state = h.to_dict()
+        assert state == {"bounds": [10.0], "counts": [1, 0],
+                         "count": 1, "sum": 3.0}
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests_total", host="h1")
+        b = reg.counter("requests_total", host="h1")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_label_sets_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", host="h1").inc()
+        reg.counter("requests_total", host="h2").inc(2)
+        values = {labels["host"]: metric.value
+                  for labels, metric in reg.find("requests_total")}
+        assert values == {"h1": 1.0, "h2": 2.0}
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_bad_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("")
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("1leading")
+
+    def test_merged_histogram(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_us", bounds=(10.0, 100.0), host="h1").observe(5)
+        reg.histogram("lat_us", bounds=(10.0, 100.0), host="h2").observe(50)
+        merged = reg.merged_histogram("lat_us")
+        assert merged.count == 2
+        assert merged.counts == [1, 1, 0]
+        assert reg.merged_histogram("absent") is None
+
+    def test_as_dict_renders_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", host="h1").inc()
+        reg.gauge("depth").set(4)
+        dump = reg.as_dict()
+        assert dump["x_total{host=h1}"] == 1.0
+        assert dump["depth"] == 4.0
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_US) == sorted(
+            DEFAULT_LATENCY_BUCKETS_US)
+        assert list(DEFAULT_BYTES_BUCKETS) == sorted(DEFAULT_BYTES_BUCKETS)

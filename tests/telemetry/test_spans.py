@@ -1,0 +1,116 @@
+"""Unit tests for the span recorder lifecycle."""
+
+from repro.sim import NULL_TELEMETRY, Simulator
+from repro.telemetry import Telemetry, TraceContext, spans_by_trace
+from repro.telemetry.spans import KIND_CHARGED, KIND_MEASURED
+
+
+def test_start_trace_opens_root():
+    t = Telemetry()
+    ctx = t.start_trace("req-1", host="w01", process="client", now=10.0)
+    assert isinstance(ctx, TraceContext)
+    assert ctx.trace_id == "req-1"
+    assert ctx.root_id == ctx.span_id
+    assert ctx.inflight == 0
+    root = t.spans[0]
+    assert root.is_root and not root.finished
+    assert root.start_us == 10.0
+    assert t.open_spans == 1
+
+
+def test_begin_end_child_span():
+    t = Telemetry()
+    ctx = t.start_trace("req-1", now=0.0)
+    span = t.begin(ctx, "marshal", "orb", now=5.0, operation="add")
+    assert span.parent_id == ctx.root_id
+    assert span.attrs == {"operation": "add"}
+    assert span.kind == KIND_MEASURED
+    t.end(span, 8.0)
+    assert span.duration_us == 3.0
+    t.end(span, 99.0)  # double-close is a no-op
+    assert span.end_us == 8.0
+
+
+def test_none_context_is_safe_everywhere():
+    t = Telemetry()
+    assert t.begin(None, "x", "orb") is None
+    assert t.emit(None, "x", "orb", 0.0, 1.0) is None
+    assert t.begin_transit(None, "x", "gcs", 0.0) == (None, None)
+    assert t.finish_inflight(None, 1.0) is None
+    assert t.finish_trace(None, 1.0) is None
+    t.end(None, 1.0)
+    assert len(t) == 0
+
+
+def test_emit_records_closed_charged_span():
+    t = Telemetry()
+    ctx = t.start_trace("req-1", now=0.0)
+    span = t.emit(ctx, "redirect", "replicator", 10.0, 42.0)
+    assert span.finished and span.kind == KIND_CHARGED
+    assert span.duration_us == 32.0
+    assert t.open_spans == 1  # only the root stays open
+
+
+def test_transit_round_trip():
+    t = Telemetry()
+    ctx = t.start_trace("req-1", now=0.0)
+    span, carried = t.begin_transit(ctx, "gcs.request", "gcs", 100.0)
+    assert carried.inflight == span.span_id
+    assert carried.span_id == span.span_id  # hops nest under transit
+    # Receiver-side hop span parents to the transit span.
+    hop = t.begin(carried, "gcsd.process", "gcs", now=120.0)
+    assert hop.parent_id == span.span_id
+    t.end(hop, 140.0)
+    closed = t.finish_inflight(carried, 150.0)
+    assert closed is span and span.end_us == 150.0
+    # First arrival wins: a second replica's close is a no-op.
+    assert t.finish_inflight(carried, 200.0) is None
+    assert span.end_us == 150.0
+    back_at_root = carried.at_root()
+    assert back_at_root.span_id == ctx.root_id
+    assert back_at_root.inflight == 0
+
+
+def test_finish_trace_closes_root():
+    t = Telemetry()
+    ctx = t.start_trace("req-1", now=0.0)
+    root = t.finish_trace(ctx, 500.0)
+    assert root.finished and root.duration_us == 500.0
+    assert t.finish_trace(ctx, 600.0) is None
+    assert t.open_spans == 0
+
+
+def test_capacity_drop_counts_and_traces():
+    from repro.sim.trace import TraceLog
+    log = TraceLog()
+    t = Telemetry(max_spans=2, trace=log)
+    ctx = t.start_trace("req-1", now=0.0)
+    t.begin(ctx, "a", "orb", now=1.0)
+    assert t.begin(ctx, "b", "orb", now=2.0) is None  # over capacity
+    assert t.start_trace("req-2", now=3.0) is None
+    span, carried = t.begin_transit(ctx, "c", "gcs", 4.0)
+    assert span is None
+    assert carried is ctx  # context keeps propagating undisturbed
+    assert t.dropped == 3
+    assert len(t) == 2
+    drops = log.query("telemetry.drop")
+    assert len(drops) == 1  # the drop is traced once, not per span
+
+
+def test_traces_grouping():
+    t = Telemetry()
+    a = t.start_trace("a", now=0.0)
+    b = t.start_trace("b", now=0.0)
+    t.begin(a, "x", "orb", now=1.0)
+    grouped = t.traces()
+    assert set(grouped) == {"a", "b"}
+    assert len(grouped["a"]) == 2
+    assert spans_by_trace(t.spans) == grouped
+    assert b.trace_id == "b"
+
+
+def test_null_telemetry_is_disabled_and_inert():
+    sim = Simulator(seed=0)
+    assert sim.telemetry is NULL_TELEMETRY
+    assert not sim.telemetry.enabled
+    assert getattr(sim.telemetry, "metrics", None) is None

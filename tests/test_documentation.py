@@ -70,6 +70,7 @@ def test_promised_artifacts_exist():
     for artifact in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "docs/architecture.md", "docs/calibration.md",
                      "docs/protocols.md", "docs/api.md",
+                     "docs/campaigns.md", "docs/observability.md",
                      "examples/quickstart.py",
                      "examples/adaptive_replication.py",
                      "examples/scalability_tuning.py",

@@ -117,3 +117,85 @@ def test_campaign_command_rejects_bad_spec(tmp_path, capsys):
     bad.write_text("{not json")
     assert main(["campaign", str(bad)]) == 2
     assert "bad spec" in capsys.readouterr().err
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+def test_trace_command_summary(capsys):
+    assert main(["--requests", "15", "trace"]) == 0
+    out = capsys.readouterr().out
+    assert "traced 15 requests" in out
+    assert "latency p50" in out
+    assert "group_communication" in out
+
+
+def test_trace_command_chrome_round_trips(tmp_path, capsys):
+    from repro.telemetry import parse_chrome_trace
+
+    out_path = tmp_path / "trace.json"
+    assert main(["--requests", "10", "trace", "--format", "chrome",
+                 "--out", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    events = parse_chrome_trace(out_path.read_text())
+    assert events
+    assert any(e["name"] == "request" for e in events)
+
+
+def test_trace_command_prometheus_round_trips(capsys):
+    from repro.telemetry import parse_prometheus_text
+
+    assert main(["--requests", "10", "trace", "--format",
+                 "prometheus"]) == 0
+    series = parse_prometheus_text(capsys.readouterr().out)
+    assert any(key.startswith("request_latency_us_bucket")
+               for key in series)
+    assert any(key.startswith("replicator_requests_total")
+               for key in series)
+
+
+def test_trace_command_csv(capsys):
+    import csv
+    import io
+
+    assert main(["--requests", "5", "trace", "--format", "csv",
+                 "--style", "warm_passive"]) == 0
+    rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+    assert rows
+    assert {"trace_id", "span_id", "component"} <= set(rows[0])
+
+
+def test_trace_command_usage_errors_exit_2(capsys):
+    assert main(["--requests", "0", "trace"]) == 2
+    assert "must be >= 1" in capsys.readouterr().err
+    assert main(["trace", "--replicas", "0"]) == 2
+    assert main(["trace", "--clients", "-1"]) == 2
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "--format", "yaml"])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "--style", "bogus"])
+    assert excinfo.value.code == 2
+
+
+def test_campaign_telemetry_flag_attaches_summaries(tmp_path, capsys):
+    import json
+
+    spec = _write_campaign_spec(tmp_path)
+    results = tmp_path / "out.jsonl"
+    assert main(["campaign", str(spec), "--results", str(results),
+                 "--telemetry", "--quiet"]) == 0
+    capsys.readouterr()
+    records = [json.loads(line)
+               for line in results.read_text().splitlines()]
+    assert all("telemetry" in r["metrics"] for r in records
+               if r["status"] == "ok")
+    digest = records[0]["metrics"]["telemetry"]
+    assert digest["dropped"] == 0
+    assert "breakdown_us" in digest

@@ -6,6 +6,7 @@ from repro.core import ConfigPoint, Measurement, Profile, ScalabilityPolicy
 from repro.replication import ReplicationStyle
 from repro.sim import TraceLog
 from repro.tools import (
+    DEFAULT_CATEGORIES,
     policy_to_csv,
     profile_to_csv,
     render_series,
@@ -115,3 +116,25 @@ class TestCsvExport:
     def test_series_csv(self):
         text = series_to_csv([(0, 1.5), (1, 2.5)], header=("t", "v"))
         assert text.strip().splitlines() == ["t,v", "0,1.5", "1,2.5"]
+
+
+class TestTelemetryCategories:
+    def test_telemetry_drop_is_a_default_category(self):
+        assert ("telemetry.drop", "TELEM") in DEFAULT_CATEGORIES
+
+    def test_drop_record_renders_in_timeline(self):
+        log = TraceLog()
+        log.record(250_000.0, "telemetry.drop",
+                   "span capacity 10 reached; dropping further spans")
+        text = render_timeline(log)
+        assert "TELEM" in text
+        assert "span capacity" in text
+
+    def test_series_renders_telemetry_quantiles(self):
+        # The ASCII chart is format-agnostic; feed it p99 samples the
+        # way `AdaptationManager.telemetry_samples` stores them.
+        samples = [(0.0, 200.0, 1.0), (1e6, 400.0, 3.0)]
+        text = render_series([(t, p99) for t, p99, _ in samples],
+                             label="service p99 [us]")
+        assert "service p99" in text
+        assert text.count("|") == 2
