@@ -100,6 +100,44 @@ def test_fig6_adaptive_beats_static_passive(benchmark, runs):
     assert gain > 0.0
 
 
+def test_fig6_journal_agrees_with_scenario_accounting(benchmark):
+    """The dependability journal's derived accounting reproduces the
+    scenario's own bookkeeping: every completed switch appears with
+    the same duration (within 5 %), availability is 1.0 in this
+    faultless run, and the switch windows land as degraded time."""
+    from repro.journal import availability_report, switch_windows
+
+    def run():
+        return run_adaptive_scenario(PROFILE, DURATION_US, policy=POLICY,
+                                     n_clients=N_CLIENTS, seed=0,
+                                     journal=True)
+
+    adaptive = benchmark.pedantic(run, rounds=1, iterations=1)
+    journal = adaptive.journal
+    assert journal is not None and journal.dropped == 0
+
+    report = availability_report(journal.events)
+    windows = switch_windows(journal.events)
+    print_header("Fig. 6 — journal vs scenario accounting")
+    print(f"availability {report.availability * 100:.3f} %  "
+          f"degraded {report.degraded_fraction * 100:.2f} %  "
+          f"switch windows {len(windows)}")
+
+    assert report.availability == 1.0
+    assert report.downtime_us == 0.0
+    assert report.degraded_us > 0.0
+    assert set(windows) == {r.switch_id
+                            for r in adaptive.switch_events}
+    completes = journal.of_kind("switch.complete")
+    for record in adaptive.switch_events:
+        durations = [e.attrs["duration_us"] for e in completes
+                     if e.attrs["switch_id"] == record.switch_id]
+        closest = min(durations,
+                      key=lambda d: abs(d - record.duration_us))
+        assert abs(closest - record.duration_us) <= \
+            max(0.05 * record.duration_us, 1.0)
+
+
 def test_fig6_static_active_needs_no_switch(benchmark):
     """Sanity arm: static active under the same profile never
     switches and handles the spike easily."""

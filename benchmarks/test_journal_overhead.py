@@ -1,0 +1,80 @@
+"""Journal overhead check (rides on the paper's Fig. 4 scenario).
+
+The dependability journal makes the same two guarantees telemetry
+does (see ``test_telemetry_overhead.py``):
+
+1. **Determinism** — recording is observation-only, so every
+   simulated outcome is byte-identical with the journal on or off.
+2. **Near-zero cost when disabled** — each journal site is a single
+   attribute load plus an ``enabled`` branch.
+
+The wall-clock assertions are intentionally loose (shared CI boxes
+are noisy) and the CI job running this file is non-blocking; the
+determinism assertions are exact.
+"""
+
+import time
+
+import pytest
+
+from conftest import BENCH_REQUESTS, print_header
+
+from repro.experiments import run_replicated_load
+from repro.journal import events_to_jsonl
+from repro.replication import ReplicationStyle
+
+#: Wall-clock budgets, same rationale (and same slack) as telemetry.
+DISABLED_BUDGET = 1.50
+ENABLED_BUDGET = 3.0
+
+REQUESTS = max(BENCH_REQUESTS, 200)
+
+
+def _timed_run(journal: bool, seed: int = 0):
+    started = time.perf_counter()
+    result = run_replicated_load(
+        ReplicationStyle.ACTIVE, n_replicas=2, n_clients=1,
+        n_requests=REQUESTS, seed=seed, journal=journal)
+    return time.perf_counter() - started, result
+
+
+def _sim_signature(result):
+    return (result.latency_mean_us, result.jitter_us,
+            result.completed, result.duration_us,
+            result.bandwidth_mbps)
+
+
+def test_journal_disabled_is_free(benchmark):
+    """Simulated results are byte-identical with the journal off vs
+    on, and the disabled path's wall-clock sits at the noise floor."""
+    warm, _ = _timed_run(journal=False)  # warm caches/imports
+    t_off, off = _timed_run(journal=False)
+    t_off2, off2 = _timed_run(journal=False)
+    t_on, on = _timed_run(journal=True)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    print_header("Journal overhead (Fig. 4 two-replica scenario)")
+    print(f"{'mode':28s} {'wall [ms]':>10s} {'mean RTT [us]':>14s}")
+    for label, wall, result in (
+            ("disabled", t_off, off), ("disabled (repeat)", t_off2, off2),
+            ("enabled", t_on, on)):
+        print(f"{label:28s} {wall * 1e3:10.1f} "
+              f"{result.latency_mean_us:14.1f}")
+
+    assert _sim_signature(off) == _sim_signature(off2)
+    assert _sim_signature(off) == _sim_signature(on)
+
+    floor = min(t_off, t_off2)
+    assert max(t_off, t_off2) < DISABLED_BUDGET * max(floor, 1e-3)
+    assert t_on < ENABLED_BUDGET * max(floor, 1e-3)
+
+
+def test_journal_deterministic_artifact(benchmark):
+    """Two same-seed runs write byte-identical JSONL journals."""
+    _, first = _timed_run(journal=True)
+    _, second = _timed_run(journal=True)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert first.journal is not None and len(first.journal) > 0
+    assert first.journal.dropped == 0
+    assert events_to_jsonl(first.journal.events) == \
+        events_to_jsonl(second.journal.events)

@@ -102,6 +102,20 @@ class AdaptationManager(Actor):
                    f"rate {group_rate:.0f} req/s -> switching to "
                    f"{target.value}", rate=group_rate,
                    target=target.value, switch_id=switch_id)
+        journal = self.sim.journal
+        if journal.enabled:
+            # The replicated-state inputs the deterministic policy saw:
+            # every manager evaluates the same agreed per-member rates,
+            # so concurrent initiations carry identical inputs and the
+            # journal merges them into one decision with N voters.
+            journal.record(
+                self.sim.now, self.process.host.name, "adaptation",
+                "adaptation.decision", switch_id=switch_id,
+                rate_per_s=group_rate,
+                from_style=event.from_style.value,
+                to_style=target.value,
+                inputs={str(k): v
+                        for k, v in self.state.items_matching("rate").items()})
 
     def _sample_telemetry(self) -> None:
         """Record registry-backed service-time p99 and queue depth for

@@ -22,6 +22,7 @@ debugging, same records).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -40,12 +41,17 @@ ProgressFn = Callable[[int, int, Optional[TrialRecord]], None]
 
 
 def execute_trial(trial: TrialSpec,
-                  telemetry: bool = False) -> TrialRecord:
+                  telemetry: bool = False,
+                  journal_dir: Optional[str] = None) -> TrialRecord:
     """Run one trial in the current process and build its record.
 
     ``telemetry=True`` records spans during the trial and attaches the
     per-trial telemetry summary to the record's metrics; the default
-    keeps records byte-identical to pre-telemetry campaigns.
+    keeps records byte-identical to pre-telemetry campaigns.  With
+    ``journal_dir`` set, the trial runs with the dependability journal
+    on, writes ``<journal_dir>/<trial_id>.journal.jsonl`` and attaches
+    the journal digest (availability, MTTR, fault matching) to the
+    record's metrics.
     """
     from repro.experiments.trial import run_fault_trial  # lazy: keeps
     # campaign importable without dragging the full stack in at startup
@@ -58,7 +64,13 @@ def execute_trial(trial: TrialSpec,
         checkpoint_interval=trial.checkpoint_interval,
         deadline_us=trial.deadline_us, settle_us=trial.settle_us,
         inject=lambda ctx: compile_load(trial.fault_load, ctx),
-        telemetry=telemetry)
+        telemetry=telemetry, journal=journal_dir is not None)
+    if journal_dir is not None and result.journal_events is not None:
+        from repro.journal.io import write_jsonl
+        os.makedirs(journal_dir, exist_ok=True)
+        write_jsonl(result.journal_events,
+                    os.path.join(journal_dir,
+                                 f"{trial.trial_id}.journal.jsonl"))
     return TrialRecord(trial_id=trial.trial_id, status="ok",
                        spec=trial.to_dict(), metrics=result.metrics())
 
@@ -70,11 +82,13 @@ def _failure_record(trial: TrialSpec, status: str,
 
 
 def _trial_worker(conn, trial_dict: Dict[str, object],
-                  telemetry: bool = False) -> None:
+                  telemetry: bool = False,
+                  journal_dir: Optional[str] = None) -> None:
     """Worker-process entry point: run one trial, ship the record."""
     trial = TrialSpec.from_dict(trial_dict)
     try:
-        record = execute_trial(trial, telemetry=telemetry)
+        record = execute_trial(trial, telemetry=telemetry,
+                               journal_dir=journal_dir)
         conn.send(("ok", record.to_line()))
     except BaseException:  # noqa: BLE001 - the whole point is isolation
         conn.send(("error", traceback.format_exc(limit=20)))
@@ -119,7 +133,8 @@ class CampaignRunner:
                  workers: int = 1,
                  trial_timeout_s: float = DEFAULT_TRIAL_TIMEOUT_S,
                  progress: Optional[ProgressFn] = None,
-                 telemetry: bool = False):
+                 telemetry: bool = False,
+                 journal_dir: Optional[str] = None):
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if trial_timeout_s <= 0:
@@ -130,6 +145,7 @@ class CampaignRunner:
         self.trial_timeout_s = trial_timeout_s
         self.progress = progress
         self.telemetry = telemetry
+        self.journal_dir = journal_dir
 
     def run(self) -> CampaignSummary:
         """Run every not-yet-completed trial; returns the summary."""
@@ -159,7 +175,8 @@ class CampaignRunner:
         done = skipped
         for _, trial in todo:
             try:
-                record = execute_trial(trial, telemetry=self.telemetry)
+                record = execute_trial(trial, telemetry=self.telemetry,
+                                       journal_dir=self.journal_dir)
             except Exception:  # crash isolation, in-process flavour
                 record = _failure_record(
                     trial, "failed", traceback.format_exc(limit=20))
@@ -197,7 +214,8 @@ class CampaignRunner:
                 parent, child = ctx.Pipe(duplex=False)
                 process = ctx.Process(
                     target=_trial_worker,
-                    args=(child, trial.to_dict(), self.telemetry),
+                    args=(child, trial.to_dict(), self.telemetry,
+                          self.journal_dir),
                     daemon=True)
                 process.start()
                 child.close()
@@ -260,8 +278,10 @@ def run_campaign(spec: CampaignSpec, store: ResultsStore,
                  workers: int = 1,
                  trial_timeout_s: float = DEFAULT_TRIAL_TIMEOUT_S,
                  progress: Optional[ProgressFn] = None,
-                 telemetry: bool = False) -> CampaignSummary:
+                 telemetry: bool = False,
+                 journal_dir: Optional[str] = None) -> CampaignSummary:
     """Convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(spec, store, workers=workers,
                           trial_timeout_s=trial_timeout_s,
-                          progress=progress, telemetry=telemetry).run()
+                          progress=progress, telemetry=telemetry,
+                          journal_dir=journal_dir).run()

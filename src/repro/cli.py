@@ -9,6 +9,7 @@
 - ``report``    — regenerate the full EXPERIMENTS.md report
 - ``campaign``  — run a fault-injection campaign from a spec file
 - ``trace``     — record a traced run; export spans/metrics
+- ``observe``   — render a dependability journal (timeline/summary/HTML)
 """
 
 from __future__ import annotations
@@ -143,7 +144,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         summary = run_campaign(spec, store, workers=args.workers,
                                trial_timeout_s=args.trial_timeout,
                                progress=progress,
-                               telemetry=args.telemetry)
+                               telemetry=args.telemetry,
+                               journal_dir=args.journal)
     except ConfigurationError as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
@@ -224,6 +226,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         sys.stdout.write(rendered)
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """Render a dependability journal captured as JSONL."""
+    from repro.journal import read_jsonl
+    from repro.tools import journal_html, journal_summary, render_journal
+
+    try:
+        events = read_jsonl(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"observe: cannot read {args.journal}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not events:
+        print(f"observe: {args.journal} holds no events",
+              file=sys.stderr)
+        return 1
+
+    print(journal_summary(events))
+    if not args.no_timeline:
+        print()
+        print(render_journal(events, limit=args.limit, kind=args.kind))
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(journal_html(events, title=args.journal))
+        print(f"\nwrote {args.html}")
     return 0
 
 
@@ -331,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="record spans during trials and "
                                       "attach per-trial telemetry "
                                       "summaries to the records")
+    campaign_parser.add_argument("--journal", metavar="DIR",
+                                 help="capture each trial's dependability "
+                                      "journal as DIR/<trial>.journal.jsonl "
+                                      "and attach journal digests to the "
+                                      "records")
 
     trace_parser = sub.add_parser(
         "trace", help="record a traced run and export spans/metrics")
@@ -351,6 +385,24 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the export to a file "
                                    "instead of stdout")
 
+    observe_parser = sub.add_parser(
+        "observe", help="render a dependability journal "
+                        "(timeline, availability, fault cross-check)")
+    observe_parser.add_argument("journal",
+                                help="journal JSONL file (from a "
+                                     "campaign --journal run or "
+                                     "write_jsonl)")
+    observe_parser.add_argument("--kind",
+                                help="only show events of this kind "
+                                     "(exact or prefix, e.g. 'switch')")
+    observe_parser.add_argument("--limit", type=int,
+                                help="cap the timeline at N events")
+    observe_parser.add_argument("--no-timeline", action="store_true",
+                                help="print only the summary")
+    observe_parser.add_argument("--html",
+                                help="also write a self-contained HTML "
+                                     "report to this path")
+
     sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
     sub.add_parser("verify",
                    help="self-check calibration + Table 2 pattern")
@@ -363,6 +415,7 @@ _COMMANDS = {
     "policy": _cmd_policy,
     "adaptive": _cmd_adaptive,
     "campaign": _cmd_campaign,
+    "observe": _cmd_observe,
     "report": _cmd_report,
     "trace": _cmd_trace,
     "verify": _cmd_verify,

@@ -71,6 +71,8 @@ class ScenarioResult:
     timeline_stats: Optional[TimelineAggregate] = None
     #: The run's span/metrics recorder (set when telemetry was on).
     telemetry: Optional[Any] = None
+    #: The run's dependability journal (set when journaling was on).
+    journal: Optional[Any] = None
 
     def as_measurement(self) -> Measurement:
         """Convert to a profile :class:`Measurement`."""
@@ -100,18 +102,25 @@ def run_replicated_load(style: ReplicationStyle, n_replicas: int,
                         checkpoint_interval: int = 1,
                         keep_timelines: bool = False,
                         calibration: Optional[SubstrateCalibration] = None,
-                        telemetry: bool = False) -> ScenarioResult:
+                        telemetry: bool = False,
+                        journal: bool = False) -> ScenarioResult:
     """Closed-loop load (the paper's request cycle) against a
     replicated service; measures latency, jitter and bandwidth.
 
     ``telemetry=True`` turns on span recording for the run (overriding
     the calibration's telemetry knob); the recorder is returned on
-    ``ScenarioResult.telemetry``.
+    ``ScenarioResult.telemetry``.  ``journal=True`` likewise turns on
+    the dependability event journal, returned on
+    ``ScenarioResult.journal``.
     """
     if telemetry:
         base = calibration or default_calibration()
         calibration = replace(
             base, telemetry=replace(base.telemetry, enabled=True))
+    if journal:
+        base = calibration or default_calibration()
+        calibration = replace(
+            base, journal=replace(base.journal, enabled=True))
     testbed = Testbed.paper_testbed(n_replicas, n_clients, seed=seed,
                                     calibration=calibration)
     config = ReplicationConfig(
@@ -173,7 +182,9 @@ def run_replicated_load(style: ReplicationStyle, n_replicas: int,
         per_client_latency_us=per_client,
         timeline_stats=stats,
         telemetry=(testbed.sim.telemetry
-                   if testbed.sim.telemetry.enabled else None))
+                   if testbed.sim.telemetry.enabled else None),
+        journal=(testbed.sim.journal
+                 if testbed.sim.journal.enabled else None))
 
 
 def build_profile(client_counts: Sequence[int] = (1, 2, 3, 4, 5),
@@ -310,6 +321,8 @@ class AdaptiveResult:
     duration_us: float
     mean_latency_us: float
     max_latency_us: float = 0.0
+    #: The run's dependability journal (set when journaling was on).
+    journal: Optional[Any] = None
 
     @property
     def observed_arrival_rate_per_s(self) -> float:
@@ -328,8 +341,8 @@ def run_adaptive_scenario(profile: RateProfile, duration_us: float,
                           seed: int = 0, closed_loop: bool = True,
                           request_bytes: int = DEFAULT_REQUEST_BYTES,
                           state_bytes: int = DEFAULT_STATE_BYTES,
-                          calibration: Optional[SubstrateCalibration] = None
-                          ) -> AdaptiveResult:
+                          calibration: Optional[SubstrateCalibration] = None,
+                          journal: bool = False) -> AdaptiveResult:
     """Drive a time-varying load against a replica group.
 
     With ``policy`` set, every replica runs an adaptation manager and
@@ -345,6 +358,10 @@ def run_adaptive_scenario(profile: RateProfile, duration_us: float,
     """
     if (policy is None) == (static_style is None):
         raise ValueError("pass exactly one of policy / static_style")
+    if journal:
+        base = calibration or default_calibration()
+        calibration = replace(
+            base, journal=replace(base.journal, enabled=True))
     initial = static_style or ReplicationStyle.WARM_PASSIVE
     testbed = Testbed.paper_testbed(n_replicas, max(n_clients, 1),
                                     seed=seed, calibration=calibration)
@@ -423,4 +440,6 @@ def run_adaptive_scenario(profile: RateProfile, duration_us: float,
         sent=sent, completed=completed,
         duration_us=duration,
         mean_latency_us=mean_latency,
-        max_latency_us=max_latency)
+        max_latency_us=max_latency,
+        journal=(testbed.sim.journal
+                 if testbed.sim.journal.enabled else None))

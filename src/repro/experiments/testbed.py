@@ -53,6 +53,12 @@ class Testbed:
             self.sim.telemetry = Telemetry(
                 max_spans=self.calibration.telemetry.max_spans,
                 trace=self.sim.trace)
+        if self.calibration.journal.enabled:
+            from repro.journal.events import Journal
+            self.sim.journal = Journal(
+                ring_size=self.calibration.journal.ring_size,
+                max_events=self.calibration.journal.max_events,
+                trace=self.sim.trace)
         self.network = Network(self.sim, self.calibration.network)
         self.hosts: Dict[str, Host] = {}
         self.daemons: Dict[str, GcsDaemon] = {}

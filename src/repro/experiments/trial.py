@@ -111,6 +111,12 @@ class FaultTrialResult:
     #: with telemetry on; None otherwise, keeping default records (and
     #: campaign JSONL) byte-identical to pre-telemetry runs.
     telemetry: Optional[Dict[str, object]] = None
+    #: Journal digest (``journal_digest``) when the trial ran with the
+    #: journal on; None otherwise — same byte-identical guarantee.
+    journal: Optional[Dict[str, object]] = None
+    #: The raw journal events of the run (for per-trial JSONL capture
+    #: and the operator observatory); never serialized into metrics.
+    journal_events: Optional[List[object]] = None
 
     @property
     def failed_fraction(self) -> float:
@@ -142,6 +148,8 @@ class FaultTrialResult:
                 for f in self.injected],
             **({"telemetry": self.telemetry}
                if self.telemetry is not None else {}),
+            **({"journal": self.journal}
+               if self.journal is not None else {}),
         }
 
 
@@ -158,7 +166,8 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
                     state_bytes: int = DEFAULT_STATE_BYTES,
                     processing_us: float = DEFAULT_PROCESSING_US,
                     calibration: Optional[SubstrateCalibration] = None,
-                    telemetry: bool = False) -> FaultTrialResult:
+                    telemetry: bool = False,
+                    journal: bool = False) -> FaultTrialResult:
     """Run one open-loop load window with an optional fault load.
 
     ``inject`` receives a :class:`TrialContext` after warm-up and may
@@ -180,12 +189,18 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
     if deadline_us <= 0:
         raise ConfigurationError("deadline must be positive")
 
-    if telemetry:
+    if telemetry or journal:
         from dataclasses import replace
         from repro.sim import default_calibration
-        base = calibration or default_calibration()
-        calibration = replace(
-            base, telemetry=replace(base.telemetry, enabled=True))
+        calibration = calibration or default_calibration()
+        if telemetry:
+            calibration = replace(
+                calibration,
+                telemetry=replace(calibration.telemetry, enabled=True))
+        if journal:
+            calibration = replace(
+                calibration,
+                journal=replace(calibration.journal, enabled=True))
     testbed = Testbed.paper_testbed(n_replicas, max(n_clients, 1),
                                     seed=seed, calibration=calibration)
     config = ReplicationConfig(
@@ -253,6 +268,15 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
         from repro.telemetry.analysis import telemetry_summary
         telemetry_digest = telemetry_summary(testbed.sim.telemetry)
 
+    journal_events = None
+    journal_summary = None
+    if testbed.sim.journal.enabled:
+        from repro.journal.io import journal_digest
+        journal_events = list(testbed.sim.journal.events)
+        journal_summary = journal_digest(testbed.sim.journal,
+                                         window_start_us=start,
+                                         window_end_us=window_end)
+
     return FaultTrialResult(
         style=style, n_replicas=n_replicas, n_clients=n_clients,
         duration_us=duration_us, sent=sent, completed=completed,
@@ -263,4 +287,5 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
         jitter_us=jitter,
         bandwidth_mbps=wire_bytes / elapsed if elapsed > 0 else 0.0,
         wire_bytes=wire_bytes, injected=list(injector.injected),
-        telemetry=telemetry_digest)
+        telemetry=telemetry_digest, journal=journal_summary,
+        journal_events=journal_events)

@@ -37,6 +37,16 @@ class FaultInjector:
         self.network = network
         self.injected: List[InjectedFault] = []
 
+    def _record(self, fault: InjectedFault, host: str) -> None:
+        """Book-keep one injection; also journal it as ground truth
+        for the detection cross-check (no-op when the journal is off)."""
+        self.injected.append(fault)
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record(self.sim.now, host, "injector", "fault.inject",
+                           fault=fault.kind, target=fault.target,
+                           at_us=fault.at_us, until_us=fault.until_us)
+
     # ------------------------------------------------------------------
     # Crash faults
     # ------------------------------------------------------------------
@@ -44,15 +54,17 @@ class FaultInjector:
         """Software crash fault: kill one process at an absolute time."""
         self._check_future(at_us)
         self.sim.schedule_at(at_us, process.kill, "injected fault")
-        self.injected.append(InjectedFault(
-            kind="process_crash", target=process.name, at_us=at_us))
+        self._record(InjectedFault(
+            kind="process_crash", target=process.name, at_us=at_us),
+            host=process.host.name)
 
     def crash_host_at(self, host: Host, at_us: float) -> None:
         """Hardware crash fault: kill a whole host at an absolute time."""
         self._check_future(at_us)
         self.sim.schedule_at(at_us, host.crash)
-        self.injected.append(InjectedFault(
-            kind="host_crash", target=host.name, at_us=at_us))
+        self._record(InjectedFault(
+            kind="host_crash", target=host.name, at_us=at_us),
+            host=host.name)
 
     def crash_and_restart_at(self, process: Process, at_us: float,
                              restart_after_us: float,
@@ -78,9 +90,9 @@ class FaultInjector:
                 restart()
 
         self.sim.schedule_at(at_us + restart_after_us, do_restart)
-        self.injected.append(InjectedFault(
+        self._record(InjectedFault(
             kind="crash_restart", target=process.name, at_us=at_us,
-            until_us=at_us + restart_after_us))
+            until_us=at_us + restart_after_us), host=process.host.name)
 
     # ------------------------------------------------------------------
     # Communication faults
@@ -92,9 +104,9 @@ class FaultInjector:
         self._check_window(start_us, end_us)
         model = BurstLoss(start_us, end_us, rate)
         self.network.add_loss_model(model)
-        self.injected.append(InjectedFault(
+        self._record(InjectedFault(
             kind="loss_burst", target=f"rate={rate}", at_us=start_us,
-            until_us=end_us))
+            until_us=end_us), host="net")
         return model
 
     # ------------------------------------------------------------------
@@ -107,9 +119,9 @@ class FaultInjector:
         self._check_window(start_us, end_us)
         model = DelaySpike(start_us, end_us, extra_us)
         self.network.add_loss_model(model)
-        self.injected.append(InjectedFault(
+        self._record(InjectedFault(
             kind="delay_spike", target=f"extra={extra_us}us",
-            at_us=start_us, until_us=end_us))
+            at_us=start_us, until_us=end_us), host="net")
         return model
 
     def cpu_hog_at(self, host: Host, at_us: float,
@@ -125,9 +137,9 @@ class FaultInjector:
                 host.cpu.execute(busy_us, lambda: None)
 
         self.sim.schedule_at(at_us, hog)
-        self.injected.append(InjectedFault(
+        self._record(InjectedFault(
             kind="cpu_hog", target=host.name, at_us=at_us,
-            until_us=at_us + busy_us))
+            until_us=at_us + busy_us), host=host.name)
 
     def _check_future(self, at_us: float) -> None:
         if at_us < self.sim.now:

@@ -544,6 +544,14 @@ class GcsDaemon(Actor):
                    group=group, view_id=state.view_id,
                    joined=[str(m) for m in joined],
                    left=[str(m) for m in left], crashed=crashed)
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record(self.sim.now, self.host.name, "gcs",
+                           "membership.view", group=group,
+                           view_id=state.view_id,
+                           members=[str(m) for m in state.members],
+                           joined=[str(m) for m in joined],
+                           left=[str(m) for m in left], crashed=crashed)
         for member in list(state.members):
             if member.host == self.host.name:
                 self._deliver_view_to(member, view, joined, left, crashed)
@@ -763,6 +771,11 @@ class GcsDaemon(Actor):
         self._suspects |= newly
         self.trace("gcs.suspect",
                    f"suspecting {sorted(newly)}", suspects=sorted(self._suspects))
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record(self.sim.now, self.host.name, "gcs",
+                           "detector.suspect", newly=sorted(newly),
+                           suspects=sorted(self._suspects))
         self._maybe_start_flush()
 
     def _live_members(self) -> Tuple[str, ...]:
@@ -904,6 +917,12 @@ class GcsDaemon(Actor):
                    f"members {list(self.view.members)}",
                    view_id=self.view.view_id,
                    members=list(self.view.members), dead=sorted(dead))
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record(self.sim.now, self.host.name, "gcs",
+                           "daemon.install", view_id=self.view.view_id,
+                           members=list(self.view.members),
+                           dead=sorted(dead))
         # 3. Remove group members stranded on dead daemons; every
         #    survivor computes the identical result at the same cut.
         for group in sorted(self._groups):

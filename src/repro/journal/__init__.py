@@ -1,0 +1,62 @@
+"""repro.journal — the dependability event journal.
+
+The system-event complement to ``repro.telemetry``'s request-level
+tracing: failure-detector verdicts, membership changes, checkpoints,
+Fig. 5 switch phases, adaptation decisions (with the replicated-state
+inputs that explain *why*), contract transitions and injected-fault
+ground truth, all in one deterministic ordered stream.
+
+Journaling is **off by default**: the simulator carries a dependency-
+free no-op journal (``repro.sim.kernel.NullJournal``) and every
+instrumentation site guards on ``journal.enabled``.  Enable it via
+``JournalConfig(enabled=True)`` in the substrate calibration (or the
+``journal=True`` convenience flags on the experiment entry points);
+the testbed then attaches a :class:`Journal`.  Recording never
+schedules events or adds simulated time, so simulated outcomes are
+byte-identical with the journal on or off.
+
+On top of the raw stream, :mod:`repro.journal.availability` derives
+up/degraded/down windows, availability, MTTR/MTTF and the injected-
+fault/detection cross-check; :mod:`repro.journal.io` serializes the
+stream as canonical JSONL and digests it for campaign records.
+"""
+
+from repro.journal.availability import (
+    DEFAULT_DETECTION_SLACK_US,
+    OUTAGE_FAULTS,
+    AvailabilityReport,
+    AvailabilityWindow,
+    FaultMatch,
+    availability_report,
+    match_faults,
+    switch_windows,
+)
+from repro.journal.events import ADAPTATION_DECISION, Journal, JournalEvent
+from repro.journal.io import (
+    event_to_line,
+    events_to_jsonl,
+    journal_digest,
+    parse_jsonl,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "ADAPTATION_DECISION",
+    "AvailabilityReport",
+    "AvailabilityWindow",
+    "DEFAULT_DETECTION_SLACK_US",
+    "FaultMatch",
+    "Journal",
+    "JournalEvent",
+    "OUTAGE_FAULTS",
+    "availability_report",
+    "event_to_line",
+    "events_to_jsonl",
+    "journal_digest",
+    "match_faults",
+    "parse_jsonl",
+    "read_jsonl",
+    "switch_windows",
+    "write_jsonl",
+]

@@ -1,0 +1,334 @@
+"""Availability accounting derived from the journal.
+
+Folds the raw event stream into the figures the paper's trade-off
+space is built on: per-group up/degraded/down intervals, MTTR/MTTF,
+unavailability per fault — and cross-checks the injected-fault ground
+truth (``fault.inject`` events) against what the stack actually
+*detected* (failure-detector suspicions, membership changes, contract
+transitions), yielding detection latencies, missed faults and false
+positives.
+
+Interval semantics
+------------------
+- A **down** window opens at the injection time of an outage-kind
+  fault (process/host crash, crash-restart) and closes at the first
+  subsequent recovery marker: a failover, a completed state transfer,
+  or a membership view that reconfigures the group around the dead
+  member.  Unclosed windows run to the end of the observation window.
+- A **degraded** window covers a Fig. 5 style switch: from the first
+  replica entering step II (``switch.prepare``) to the last replica
+  finishing step III (``switch.complete`` / ``switch.rollback``).
+  Requests keep completing during a switch — they are queued, not
+  dropped — which is exactly what "degraded, not down" means.
+- Everything else is **up**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.journal.events import JournalEvent
+
+#: Fault kinds that take (part of) the service down; mirrors the
+#: campaign trial's outage accounting.
+OUTAGE_FAULTS = ("process_crash", "host_crash", "crash_restart")
+
+#: Event kinds that mark the service as restored after an outage.
+RECOVERY_KINDS = ("failover", "state.sync")
+
+#: Event kinds a non-outage (timing / communication) fault may
+#: legitimately surface as.
+DEGRADATION_SIGNALS = ("contract.warning", "contract.violated",
+                       "adaptation.decision", "client.giveup",
+                       "detector.suspect")
+
+#: Default window after a fault within which a detection event is
+#: attributed to it (covers heartbeat timeout + flush + settle).
+DEFAULT_DETECTION_SLACK_US = 2_000_000.0
+
+
+@dataclass(frozen=True)
+class AvailabilityWindow:
+    """One contiguous interval in a single service state."""
+
+    state: str  # "up" | "degraded" | "down"
+    start_us: float
+    end_us: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass(frozen=True)
+class FaultMatch:
+    """Ground truth vs detection for one injected fault."""
+
+    fault_kind: str
+    target: str
+    at_us: float
+    until_us: Optional[float]
+    detected: bool
+    detected_kind: Optional[str] = None
+    detected_at_us: Optional[float] = None
+
+    @property
+    def detection_latency_us(self) -> float:
+        if not self.detected or self.detected_at_us is None:
+            return 0.0
+        return self.detected_at_us - self.at_us
+
+    @property
+    def missed(self) -> bool:
+        return not self.detected
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """The journal folded into availability figures."""
+
+    windows: Tuple[AvailabilityWindow, ...]
+    window_start_us: float
+    window_end_us: float
+    downtime_us: float
+    degraded_us: float
+    n_outages: int
+    false_positives: int
+
+    @property
+    def span_us(self) -> float:
+        return max(self.window_end_us - self.window_start_us, 0.0)
+
+    @property
+    def availability(self) -> float:
+        if self.span_us <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime_us / self.span_us)
+
+    @property
+    def degraded_fraction(self) -> float:
+        if self.span_us <= 0:
+            return 0.0
+        return self.degraded_us / self.span_us
+
+    @property
+    def mttr_us(self) -> float:
+        """Mean time to repair: mean down-window duration."""
+        if self.n_outages == 0:
+            return 0.0
+        return self.downtime_us / self.n_outages
+
+    @property
+    def mttf_us(self) -> float:
+        """Mean time to failure: uptime per outage (the whole window
+        when nothing failed)."""
+        uptime = self.span_us - self.downtime_us
+        if self.n_outages == 0:
+            return self.span_us
+        return uptime / self.n_outages
+
+
+def _is_detection(event: JournalEvent) -> bool:
+    """Membership-level evidence that something was detected as dead."""
+    if event.kind == "detector.suspect":
+        return True
+    return event.kind == "membership.view" and bool(event.attrs.get("left"))
+
+
+def _fault_events(events: Sequence[JournalEvent]) -> List[JournalEvent]:
+    return [e for e in events if e.kind == "fault.inject"]
+
+
+def _recovery_time(events: Sequence[JournalEvent], fault: JournalEvent,
+                   end_us: float) -> float:
+    """First recovery marker after the fault fires, else ``end_us``."""
+    at = float(fault.attrs.get("at_us", fault.time_us))
+    target = str(fault.attrs.get("target", ""))
+    for event in events:
+        if event.time_us <= at:
+            continue
+        if event.kind in RECOVERY_KINDS:
+            return event.time_us
+        if event.kind == "membership.view":
+            left = [str(m) for m in event.attrs.get("left", ())]
+            if left and (not target
+                         or any(target in member for member in left)
+                         or any(fault.host == member.split("@")[-1]
+                                for member in left)):
+                return event.time_us
+    return end_us
+
+
+def _merge(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping intervals."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def switch_windows(events: Sequence[JournalEvent]
+                   ) -> Dict[str, Tuple[float, float]]:
+    """Per-switch group-wide window: first ``switch.prepare`` to last
+    ``switch.complete`` / ``switch.rollback``."""
+    starts: Dict[str, float] = {}
+    ends: Dict[str, float] = {}
+    for event in events:
+        switch_id = event.attrs.get("switch_id")
+        if switch_id is None:
+            continue
+        if event.kind == "switch.prepare":
+            starts.setdefault(switch_id, event.time_us)
+            starts[switch_id] = min(starts[switch_id], event.time_us)
+        elif event.kind in ("switch.complete", "switch.rollback"):
+            ends[switch_id] = max(ends.get(switch_id, event.time_us),
+                                  event.time_us)
+    return {sid: (starts[sid], ends[sid])
+            for sid in starts if sid in ends}
+
+
+def availability_report(events: Sequence[JournalEvent],
+                        window_start_us: Optional[float] = None,
+                        window_end_us: Optional[float] = None
+                        ) -> AvailabilityReport:
+    """Fold the journal into up/degraded/down windows and figures.
+
+    The observation window defaults to [0, last event time or fault
+    deadline]; a trial passes its load window explicitly so settle
+    time is not billed as uptime.
+    """
+    ordered = sorted(events, key=lambda e: (e.time_us, e.seq))
+    times = [e.time_us for e in ordered]
+    fault_until = [float(e.attrs.get("until_us") or
+                         e.attrs.get("at_us", e.time_us))
+                   for e in _fault_events(ordered)]
+    start = 0.0 if window_start_us is None else window_start_us
+    end = (max(times + fault_until, default=start)
+           if window_end_us is None else window_end_us)
+
+    down: List[Tuple[float, float]] = []
+    n_outages = 0
+    for fault in _fault_events(ordered):
+        if fault.attrs.get("fault") not in OUTAGE_FAULTS:
+            continue
+        at = float(fault.attrs.get("at_us", fault.time_us))
+        if at >= end:
+            continue
+        n_outages += 1
+        recovered = _recovery_time(ordered, fault, end)
+        down.append((max(at, start), min(recovered, end)))
+    down = _merge(down)
+
+    degraded = _merge([(max(s, start), min(e, end))
+                       for s, e in switch_windows(ordered).values()])
+    # Downtime trumps degradation: clip degraded out of down intervals.
+    clipped: List[Tuple[float, float]] = []
+    for d_start, d_end in degraded:
+        cursor = d_start
+        for o_start, o_end in down:
+            if o_end <= cursor or o_start >= d_end:
+                continue
+            if o_start > cursor:
+                clipped.append((cursor, o_start))
+            cursor = max(cursor, o_end)
+        if cursor < d_end:
+            clipped.append((cursor, d_end))
+    degraded = _merge(clipped)
+
+    windows: List[AvailabilityWindow] = []
+    marks = sorted(set([start, end]
+                       + [t for pair in down for t in pair]
+                       + [t for pair in degraded for t in pair]))
+    for left, right in zip(marks, marks[1:]):
+        if right <= left:
+            continue
+        mid = (left + right) / 2.0
+        if any(s <= mid < e for s, e in down):
+            state = "down"
+        elif any(s <= mid < e for s, e in degraded):
+            state = "degraded"
+        else:
+            state = "up"
+        if windows and windows[-1].state == state:
+            windows[-1] = AvailabilityWindow(state, windows[-1].start_us,
+                                             right)
+        else:
+            windows.append(AvailabilityWindow(state, left, right))
+
+    covered: List[Tuple[float, float]] = []
+    for fault in _fault_events(ordered):
+        at = float(fault.attrs.get("at_us", fault.time_us))
+        until = fault.attrs.get("until_us")
+        covered.append((at, (float(until) if until else at)
+                        + DEFAULT_DETECTION_SLACK_US))
+    false_positives = sum(
+        1 for e in ordered if _is_detection(e)
+        and not any(s <= e.time_us <= f for s, f in covered))
+
+    return AvailabilityReport(
+        windows=tuple(windows),
+        window_start_us=start, window_end_us=end,
+        downtime_us=sum(e - s for s, e in down),
+        degraded_us=sum(e - s for s, e in degraded),
+        n_outages=n_outages,
+        false_positives=false_positives)
+
+
+def match_faults(events: Sequence[JournalEvent],
+                 slack_us: float = DEFAULT_DETECTION_SLACK_US
+                 ) -> List[FaultMatch]:
+    """Cross-check injected-fault ground truth against detections.
+
+    Outage faults must be *detected at the membership level*: a
+    failure-detector suspicion naming the fault's host, or a group
+    view that drops the crashed member.  Timing and communication
+    faults (loss bursts, delay spikes, CPU hogs) are matched against
+    any degradation signal — contract transitions, adaptation
+    decisions, client give-ups, or spurious suspicions — inside the
+    fault window plus ``slack_us``.  A fault with no matching event is
+    flagged ``missed``.
+    """
+    ordered = sorted(events, key=lambda e: (e.time_us, e.seq))
+    matches: List[FaultMatch] = []
+    for fault in _fault_events(ordered):
+        kind = str(fault.attrs.get("fault", ""))
+        target = str(fault.attrs.get("target", ""))
+        at = float(fault.attrs.get("at_us", fault.time_us))
+        until = fault.attrs.get("until_us")
+        deadline = (float(until) if until else at) + slack_us
+        named: Optional[JournalEvent] = None
+        unnamed: Optional[JournalEvent] = None
+        for event in ordered:
+            if not at < event.time_us <= deadline:
+                continue
+            if kind in OUTAGE_FAULTS:
+                if not _is_detection(event):
+                    continue
+                names = ([str(m) for m in event.attrs.get("left", ())]
+                         + [str(h) for h in event.attrs.get("newly", ())])
+                is_named = any(target and target in name or
+                               fault.host == name.split("@")[-1]
+                               for name in names)
+                if is_named and named is None:
+                    named = event
+                    break  # events are ordered; first named match wins
+                if unnamed is None:
+                    unnamed = event
+            else:
+                if event.kind in DEGRADATION_SIGNALS and unnamed is None:
+                    unnamed = event
+                    break
+        hit = named or unnamed
+        matches.append(FaultMatch(
+            fault_kind=kind, target=target, at_us=at,
+            until_us=float(until) if until else None,
+            detected=hit is not None,
+            detected_kind=hit.kind if hit else None,
+            detected_at_us=hit.time_us if hit else None))
+    return matches

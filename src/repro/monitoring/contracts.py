@@ -29,31 +29,53 @@ class ContractStatus(enum.Enum):
 
 @dataclass(frozen=True)
 class Contract:
-    """An upper bound on one metric, with a warning margin.
+    """A bound on one metric, with a warning margin on the correct side.
 
-    ``metric`` names a :class:`MetricsSnapshot` field; the contract is
+    ``metric`` names a :class:`MetricsSnapshot` field.  With
+    ``bound="upper"`` (latency, jitter, queue depth) the contract is
     violated when the metric exceeds ``limit`` and in warning state
-    when it exceeds ``limit * warning_fraction``.
+    when it exceeds ``limit * warning_fraction``.  With
+    ``bound="lower"`` (availability, throughput — properties that must
+    stay *above* a floor) the contract is violated when the metric
+    drops below ``limit``, and the warning band of the same relative
+    width sits *above* the limit: warning when the metric drops below
+    ``limit * (2 - warning_fraction)``.
     """
 
     name: str
     metric: str
     limit: float
     warning_fraction: float = 0.8
+    bound: str = "upper"
 
     def __post_init__(self) -> None:
         if self.limit <= 0:
             raise ValueError("contract limit must be positive")
         if not 0.0 < self.warning_fraction <= 1.0:
             raise ValueError("warning fraction must be in (0, 1]")
+        if self.bound not in ("upper", "lower"):
+            raise ValueError("bound must be 'upper' or 'lower'")
+
+    @property
+    def warning_threshold(self) -> float:
+        """Where the warning band starts (inside the honoured region)."""
+        if self.bound == "upper":
+            return self.limit * self.warning_fraction
+        return self.limit * (2.0 - self.warning_fraction)
 
     def evaluate(self, snapshot: MetricsSnapshot) -> ContractStatus:
         """Status of this contract against one snapshot."""
         value = getattr(snapshot, self.metric)
-        if value > self.limit:
-            return ContractStatus.VIOLATED
-        if value > self.limit * self.warning_fraction:
-            return ContractStatus.WARNING
+        if self.bound == "upper":
+            if value > self.limit:
+                return ContractStatus.VIOLATED
+            if value > self.warning_threshold:
+                return ContractStatus.WARNING
+        else:
+            if value < self.limit:
+                return ContractStatus.VIOLATED
+            if value < self.warning_threshold:
+                return ContractStatus.WARNING
         return ContractStatus.HONOURED
 
 
@@ -71,11 +93,17 @@ class ContractMonitor:
     """Evaluates a set of contracts against successive snapshots and
     reports status *transitions* to subscribers."""
 
-    def __init__(self, contracts: Optional[List[Contract]] = None):
+    def __init__(self, contracts: Optional[List[Contract]] = None,
+                 journal: Optional[object] = None,
+                 host: str = "monitor"):
         self.contracts: List[Contract] = list(contracts or [])
         self._status: Dict[str, ContractStatus] = {}
         self._subscribers: List[Callable[[ContractEvent], None]] = []
         self.events: List[ContractEvent] = []
+        #: Optional dependability journal; transitions are recorded as
+        #: ``contract.<status>`` events attributed to ``host``.
+        self.journal = journal
+        self.host = host
 
     def add(self, contract: Contract) -> None:
         """Register another contract (names must be unique)."""
@@ -101,6 +129,13 @@ class ContractMonitor:
                     status=status,
                     value=getattr(snapshot, contract.metric))
                 self.events.append(event)
+                if self.journal is not None and self.journal.enabled:
+                    self.journal.record(
+                        snapshot.time, self.host, "monitor",
+                        f"contract.{status.value}",
+                        contract=contract.name, metric=contract.metric,
+                        value=getattr(snapshot, contract.metric),
+                        limit=contract.limit, bound=contract.bound)
                 for subscriber in self._subscribers:
                     subscriber(event)
             self._status[contract.name] = status

@@ -175,6 +175,13 @@ class ClientReplicator(Actor, ClientTransport):
             self.trace("repl.client.failure",
                        f"giving up on {request_id} after "
                        f"{entry.attempts} attempts")
+            journal = self.sim.journal
+            if journal.enabled:
+                journal.record(self.sim.now, self.process.host.name,
+                               "replicator", "client.giveup",
+                               process=self.process.name,
+                               request_id=request_id,
+                               attempts=entry.attempts)
             if self.on_failure is not None:
                 self.on_failure(entry.rep.request)
             return

@@ -152,6 +152,14 @@ class ServerReplicator(Actor, ServerTransport):
             registry.gauge("replicator_queue_depth",
                            **self._labels()).set(len(self._queue))
 
+    def _journal(self, kind: str, trace_id=None, **attrs) -> None:
+        """Record a dependability event (no-op when the journal is off)."""
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record(self.sim.now, self.process.host.name,
+                           "replicator", kind, trace_id=trace_id,
+                           process=self.process.name, **attrs)
+
     # ==================================================================
     # ServerTransport interface (called by OrbServer)
     # ==================================================================
@@ -488,12 +496,18 @@ class ServerReplicator(Actor, ServerTransport):
                     self.store.write(self.group, ckpt.ckpt_id, ckpt.state,
                                      ckpt.state_bytes)
                 self.checkpoints_sent += 1
+                self._journal("checkpoint.publish", ckpt_id=ckpt.ckpt_id,
+                              state_bytes=wire_state, final_for=None,
+                              sync_for=None, stable_store=True)
                 return
             grade = (Grade.SAFE if self.config.safe_checkpoints
                      else Grade.AGREED)
             self.gcs.multicast(self.group, ckpt, ckpt.wire_bytes,
                                grade=grade)
             self.checkpoints_sent += 1
+            self._journal("checkpoint.publish", ckpt_id=ckpt.ckpt_id,
+                          state_bytes=wire_state, final_for=final_for,
+                          sync_for=str(sync_for) if sync_for else None)
             if self.sync_checkpoints and final_for is None:
                 # Quiesce until the checkpoint is delivered back on the
                 # total order (the passive-style latency cost).
@@ -521,6 +535,8 @@ class ServerReplicator(Actor, ServerTransport):
             if self._state_provider is not None and ckpt.state is not None:
                 self._state_provider.restore_state(ckpt.state)
             self.checkpoints_applied += 1
+            self._journal("checkpoint.apply", ckpt_id=ckpt.ckpt_id,
+                          source=str(ckpt.source))
             self._request_log.clear()
             if not self._synced:
                 if ckpt.sync_for in (None, self.member):
@@ -576,6 +592,8 @@ class ServerReplicator(Actor, ServerTransport):
         self._synced = True
         self.cancel_timer("sync-retry")
         self.trace("repl.sync", f"{self.member} synced into {self.group}")
+        self._journal("state.sync", member=str(self.member),
+                      style=self.style.value)
         self._drain_queue()
 
     def _sync_tick(self) -> None:
@@ -689,6 +707,13 @@ class ServerReplicator(Actor, ServerTransport):
         self.trace("repl.switch",
                    f"step II: preparing {self.style.value} -> "
                    f"{command.target.value}", switch_id=command.switch_id)
+        self._journal("switch.prepare",
+                      trace_id=(switch_ctx.trace_id
+                                if switch_ctx is not None else None),
+                      switch_id=command.switch_id,
+                      from_style=self.style.value,
+                      to_style=command.target.value,
+                      initiator=str(command.initiator))
         # Step II: everyone starts enqueueing application messages
         # (handled by the _switch check in _receive_request).
         if self._switch.passive_to_active:
@@ -725,6 +750,13 @@ class ServerReplicator(Actor, ServerTransport):
                    f"step III: switched to {self.style.value} "
                    f"({queued} queued requests)",
                    switch_id=switch.switch_id, queued=queued)
+        self._journal("switch.complete",
+                      trace_id=(switch.trace_ctx.trace_id
+                                if switch.trace_ctx is not None else None),
+                      switch_id=switch.switch_id,
+                      from_style=switch.from_style.value,
+                      to_style=switch.target.value, queued=queued,
+                      duration_us=self.sim.now - switch.started_at)
         # Step III: process the outstanding requests in the message
         # queue under the new style.  Under active->passive the paper
         # has the new backups process outstanding requests *and then*
@@ -767,6 +799,13 @@ class ServerReplicator(Actor, ServerTransport):
                    f"rollback: primary crashed mid-switch; processing "
                    f"{queued} outstanding requests",
                    switch_id=switch.switch_id)
+        self._journal("switch.rollback",
+                      trace_id=(switch.trace_ctx.trace_id
+                                if switch.trace_ctx is not None else None),
+                      switch_id=switch.switch_id,
+                      from_style=switch.from_style.value,
+                      to_style=switch.target.value, queued=queued,
+                      duration_us=self.sim.now - switch.started_at)
         self._drain_queue()
 
     # ==================================================================
@@ -806,6 +845,9 @@ class ServerReplicator(Actor, ServerTransport):
         replay of logged requests in broadcast mode."""
         self.trace("repl.failover",
                    f"{self.member} taking over as primary")
+        self._journal("failover", member=str(self.member),
+                      style=self.style.value,
+                      logged_requests=len(self._request_log))
 
         def promoted() -> None:
             if not self.alive:

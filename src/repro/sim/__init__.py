@@ -14,6 +14,7 @@ from repro.sim.config import (
     GcsCalibration,
     HostCalibration,
     InterposeCalibration,
+    JournalConfig,
     NetworkCalibration,
     OrbCalibration,
     PAPER_BANDWIDTH_LIMIT_MBPS,
@@ -26,7 +27,14 @@ from repro.sim.config import (
     default_calibration,
 )
 from repro.sim.host import Cpu, Host, Process
-from repro.sim.kernel import NULL_TELEMETRY, EventHandle, NullTelemetry, Simulator
+from repro.sim.kernel import (
+    NULL_JOURNAL,
+    NULL_TELEMETRY,
+    EventHandle,
+    NullJournal,
+    NullTelemetry,
+    Simulator,
+)
 from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
@@ -37,8 +45,11 @@ __all__ = [
     "Host",
     "HostCalibration",
     "InterposeCalibration",
+    "JournalConfig",
+    "NULL_JOURNAL",
     "NULL_TELEMETRY",
     "NetworkCalibration",
+    "NullJournal",
     "NullTelemetry",
     "OrbCalibration",
     "PAPER_BANDWIDTH_LIMIT_MBPS",

@@ -181,6 +181,31 @@ class TelemetryConfig:
 
 
 @dataclass(frozen=True)
+class JournalConfig:
+    """Switch for the dependability event journal.
+
+    Off by default: the simulator keeps its no-op journal and every
+    instrumentation site reduces to one guarded branch.  When enabled,
+    the testbed attaches a :class:`repro.journal.Journal`: a global
+    collector capped at ``max_events`` plus a per-host "flight
+    recorder" ring of the last ``ring_size`` events.  Journaling adds
+    **no simulated time** either way, so simulated results are
+    byte-identical on or off.
+    """
+
+    enabled: bool = False
+    ring_size: int = 256
+    max_events: int = 100_000
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on invalid fields."""
+        if self.ring_size < 1:
+            raise ConfigurationError("ring_size must be positive")
+        if self.max_events < 1:
+            raise ConfigurationError("max_events must be positive")
+
+
+@dataclass(frozen=True)
 class SubstrateCalibration:
     """Bundle of all substrate cost models with paper-anchored defaults."""
 
@@ -192,6 +217,7 @@ class SubstrateCalibration:
         default_factory=ReplicationCalibration)
     host: HostCalibration = field(default_factory=HostCalibration)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    journal: JournalConfig = field(default_factory=JournalConfig)
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on any invalid field."""
@@ -202,6 +228,7 @@ class SubstrateCalibration:
         self.replication.validate()
         self.host.validate()
         self.telemetry.validate()
+        self.journal.validate()
 
     def with_overrides(self, **sections) -> "SubstrateCalibration":
         """Return a copy with whole sections replaced, e.g.

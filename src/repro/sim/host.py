@@ -158,16 +158,13 @@ class Process:
     detection latency, exactly as in the paper's testbed.
     """
 
-    _next_pid = 1
-
     def __init__(self, host: Host, name: str):
         if not host.alive:
             raise SimulationError(f"cannot start {name}: host {host.name} is down")
         self.host = host
         self.sim = host.sim
         self.name = name
-        self.pid = Process._next_pid
-        Process._next_pid += 1
+        self.pid = self.sim.allocate_pid()
         self.alive = True
         self._on_kill: List[Callable[[], None]] = []
         host.processes.append(self)

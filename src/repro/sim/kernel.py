@@ -133,6 +133,40 @@ class NullTelemetry:
 NULL_TELEMETRY = NullTelemetry()
 
 
+class NullJournal:
+    """Disabled dependability-event journal: the default recorder.
+
+    Mirrors the interface of :class:`repro.journal.events.Journal` as
+    pure no-ops, the same arrangement as :class:`NullTelemetry`: it
+    lives here — dependency-free — so the kernel never imports the
+    journal package, and instrumented code pays one attribute load
+    plus one ``.enabled`` branch when journaling is off.
+    """
+
+    enabled = False
+    events: tuple = ()
+    dropped = 0
+
+    def record(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real journal would append a JournalEvent."""
+        return None
+
+    def flight_recorder(self, _host: str) -> tuple:
+        """Return an empty per-host ring: nothing is ever recorded."""
+        return ()
+
+    def of_kind(self, _prefix: str) -> tuple:
+        """Return no events: nothing is ever recorded."""
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared stateless no-op journal.
+NULL_JOURNAL = NullJournal()
+
+
 class Simulator:
     """Event-heap simulator with a microsecond clock.
 
@@ -157,10 +191,23 @@ class Simulator:
         #: so.  Recording is observation-only (never schedules events),
         #: so results are identical whichever recorder is attached.
         self.telemetry: Any = NULL_TELEMETRY
+        #: Dependability-event journal; the no-op by default.  The
+        #: testbed swaps in a :class:`repro.journal.Journal` when
+        #: calibration says so.  Journaling is observation-only (never
+        #: schedules events), so results are identical either way.
+        self.journal: Any = NULL_JOURNAL
         self._heap: List[EventHandle] = []
         self._seq = itertools.count()
+        self._pids = itertools.count(1)
         self._running = False
         self._events_dispatched = 0
+
+    def allocate_pid(self) -> int:
+        """Next process id.  Per-simulator (not interpreter-global) so
+        two same-seed runs name their processes identically — member
+        ids embed the pid, and the journal's byte-identical-JSONL
+        guarantee depends on it."""
+        return next(self._pids)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -4,6 +4,8 @@ Public surface:
 
 - :func:`render_timeline`, :func:`render_series`,
   :func:`summarize_trace` — human-readable run inspection
+- :func:`render_journal`, :func:`journal_summary`,
+  :func:`journal_html` — the dependability-journal observatory
 - :func:`profile_to_csv`, :func:`policy_to_csv`,
   :func:`scores_to_csv`, :func:`series_to_csv` — data export for
   external plotting
@@ -15,6 +17,12 @@ from repro.tools.export import (
     scores_to_csv,
     series_to_csv,
 )
+from repro.tools.observatory import (
+    JOURNAL_TAGS,
+    journal_html,
+    journal_summary,
+    render_journal,
+)
 from repro.tools.timeline import (
     DEFAULT_CATEGORIES,
     render_series,
@@ -24,8 +32,12 @@ from repro.tools.timeline import (
 
 __all__ = [
     "DEFAULT_CATEGORIES",
+    "JOURNAL_TAGS",
+    "journal_html",
+    "journal_summary",
     "policy_to_csv",
     "profile_to_csv",
+    "render_journal",
     "render_series",
     "render_timeline",
     "scores_to_csv",

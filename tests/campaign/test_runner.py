@@ -159,3 +159,39 @@ def test_custom_entry_requires_schedule():
 
 def test_process_crash_entry_defaults():
     assert ProcessCrash().replica_index == 0
+
+
+def test_serial_campaign_journal_capture(tmp_path):
+    from repro.journal import read_jsonl
+
+    store = ResultsStore(str(tmp_path / "r.jsonl"))
+    spec = tiny_spec()
+    journal_dir = str(tmp_path / "journals")
+    summary = run_campaign(spec, store, workers=1,
+                           journal_dir=journal_dir)
+    assert summary.failed == 0
+    for record in store.records():
+        assert record.ok
+        digest = record.metrics["journal"]
+        path = os.path.join(journal_dir,
+                            f"{record.trial_id}.journal.jsonl")
+        assert len(read_jsonl(path)) == digest["events"]
+        assert digest["faults_injected"] == \
+            digest["faults_matched"] + digest["faults_missed"]
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+def test_parallel_campaign_journal_matches_serial(tmp_path):
+    serial_store = ResultsStore(str(tmp_path / "serial.jsonl"))
+    parallel_store = ResultsStore(str(tmp_path / "parallel.jsonl"))
+    serial_dir = tmp_path / "serial-j"
+    parallel_dir = tmp_path / "parallel-j"
+    spec = tiny_spec()
+    run_campaign(spec, serial_store, workers=1,
+                 journal_dir=str(serial_dir))
+    run_campaign(spec, parallel_store, workers=2,
+                 journal_dir=str(parallel_dir))
+    for trial in spec.expand():
+        name = f"{trial.trial_id}.journal.jsonl"
+        assert (serial_dir / name).read_bytes() == \
+            (parallel_dir / name).read_bytes()

@@ -1,0 +1,199 @@
+"""Availability accounting over synthetic event streams."""
+
+import pytest
+
+from repro.journal import (
+    Journal,
+    availability_report,
+    match_faults,
+    switch_windows,
+)
+
+
+def build(*records):
+    """Journal from ``(time, host, component, kind, attrs)`` tuples."""
+    journal = Journal()
+    for time, host, component, kind, attrs in records:
+        journal.record(time, host, component, kind, **attrs)
+    return journal.events
+
+
+def crash(at, target="svc-r2", fault="process_crash", until=None):
+    return (at, "net", "injector", "fault.inject",
+            {"fault": fault, "target": target, "at_us": at,
+             "until_us": until})
+
+
+def view_drop(at, left=("svc-r2#2@s02",)):
+    return (at, "s01", "gcs", "membership.view",
+            {"group": "svc", "view_id": 3, "members": [],
+             "joined": [], "left": list(left), "crashed": False})
+
+
+def switch(at, kind, switch_id="svc:P->A:0"):
+    return (at, "s01", "replicator", f"switch.{kind}",
+            {"switch_id": switch_id, "from_style": "warm_passive",
+             "to_style": "active"})
+
+
+class TestAvailabilityReport:
+    def test_no_events_is_fully_available(self):
+        report = availability_report([], window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.availability == 1.0
+        assert report.n_outages == 0
+        assert report.mttr_us == 0.0
+        assert report.mttf_us == 1_000.0
+        assert [w.state for w in report.windows] == ["up"]
+
+    def test_outage_closed_by_membership_view(self):
+        events = build(crash(100.0), view_drop(400.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.downtime_us == pytest.approx(300.0)
+        assert report.availability == pytest.approx(0.7)
+        assert report.n_outages == 1
+        assert report.mttr_us == pytest.approx(300.0)
+        assert report.mttf_us == pytest.approx(700.0)
+        assert [w.state for w in report.windows] == ["up", "down", "up"]
+
+    def test_outage_closed_by_failover(self):
+        events = build(
+            crash(100.0),
+            (250.0, "s01", "replicator", "failover",
+             {"member": "svc-r1#1@s01", "style": "active"}))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.downtime_us == pytest.approx(150.0)
+
+    def test_unrecovered_outage_runs_to_window_end(self):
+        events = build(crash(600.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.downtime_us == pytest.approx(400.0)
+        assert report.windows[-1].state == "down"
+
+    def test_overlapping_outages_merge(self):
+        events = build(crash(100.0, target="svc-r2"),
+                       crash(200.0, target="svc-r3"),
+                       view_drop(500.0,
+                                 left=["svc-r2#2@s02", "svc-r3#3@s03"]))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.n_outages == 2
+        # One merged down interval (100, 500), not 700 us of downtime.
+        assert report.downtime_us == pytest.approx(400.0)
+
+    def test_switch_counts_as_degraded_not_down(self):
+        events = build(switch(300.0, "prepare"),
+                       switch(450.0, "complete"))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.availability == 1.0
+        assert report.degraded_us == pytest.approx(150.0)
+        assert report.degraded_fraction == pytest.approx(0.15)
+        assert [w.state for w in report.windows] == [
+            "up", "degraded", "up"]
+
+    def test_rollback_closes_degraded_window(self):
+        events = build(switch(300.0, "prepare"),
+                       switch(500.0, "rollback"))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.degraded_us == pytest.approx(200.0)
+
+    def test_downtime_trumps_degradation(self):
+        events = build(switch(200.0, "prepare"),
+                       crash(300.0),
+                       switch(600.0, "complete"),
+                       view_drop(500.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        # Switch window (200, 600) loses its overlap with down (300, 500).
+        assert report.downtime_us == pytest.approx(200.0)
+        assert report.degraded_us == pytest.approx(200.0)
+        assert [w.state for w in report.windows] == [
+            "up", "degraded", "down", "degraded", "up"]
+
+    def test_default_window_spans_events(self):
+        events = build(crash(100.0), view_drop(400.0))
+        report = availability_report(events)
+        assert report.window_start_us == 0.0
+        assert report.window_end_us == 400.0
+
+
+class TestSwitchWindows:
+    def test_window_spans_first_prepare_to_last_complete(self):
+        events = build(
+            switch(300.0, "prepare"),
+            (320.0, "s02", "replicator", "switch.prepare",
+             {"switch_id": "svc:P->A:0"}),
+            (400.0, "s01", "replicator", "switch.complete",
+             {"switch_id": "svc:P->A:0"}),
+            (450.0, "s02", "replicator", "switch.complete",
+             {"switch_id": "svc:P->A:0"}))
+        assert switch_windows(events) == {"svc:P->A:0": (300.0, 450.0)}
+
+    def test_unfinished_switch_has_no_window(self):
+        events = build(switch(300.0, "prepare"))
+        assert switch_windows(events) == {}
+
+
+class TestMatchFaults:
+    def test_crash_matched_to_view_naming_target(self):
+        events = build(crash(100.0), view_drop(400.0))
+        (match,) = match_faults(events)
+        assert match.detected
+        assert match.detected_kind == "membership.view"
+        assert match.detection_latency_us == pytest.approx(300.0)
+        assert not match.missed
+
+    def test_crash_matched_to_suspicion(self):
+        events = build(
+            crash(100.0, target="s02", fault="host_crash"),
+            (350.0, "s01", "gcs", "detector.suspect",
+             {"newly": ["s02"], "suspects": ["s02"]}))
+        (match,) = match_faults(events)
+        assert match.detected
+        assert match.detected_kind == "detector.suspect"
+
+    def test_undetected_crash_is_missed(self):
+        events = build(crash(100.0))
+        (match,) = match_faults(events)
+        assert match.missed
+        assert match.detection_latency_us == 0.0
+
+    def test_detection_outside_slack_is_missed(self):
+        events = build(crash(100.0), view_drop(100.0 + 10e6))
+        (match,) = match_faults(events, slack_us=1e6)
+        assert match.missed
+
+    def test_named_detection_preferred_over_earlier_unnamed(self):
+        events = build(
+            crash(100.0, target="svc-r2"),
+            view_drop(200.0, left=["svc-r9#9@s09"]),
+            view_drop(400.0, left=["svc-r2#2@s02"]))
+        (match,) = match_faults(events)
+        assert match.detected_at_us == 400.0
+
+    def test_loss_burst_matched_to_degradation_signal(self):
+        events = build(
+            crash(100.0, target="net", fault="loss_burst",
+                  until=300.0),
+            (250.0, "w01", "replicator", "client.giveup",
+             {"request_id": 7, "attempts": 3}))
+        (match,) = match_faults(events)
+        assert match.detected
+        assert match.detected_kind == "client.giveup"
+        assert match.until_us == 300.0
+
+    def test_false_positive_detection_counted(self):
+        events = build(view_drop(400.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.false_positives == 1
+        # ... and a detection inside a fault window is not one.
+        events = build(crash(100.0), view_drop(400.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.false_positives == 0

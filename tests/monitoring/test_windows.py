@@ -77,6 +77,61 @@ def test_invalid_window_rejected():
         SlidingWindow(0.0)
 
 
+def test_maximum_of_known_samples():
+    w = SlidingWindow(1000.0)
+    for i, v in enumerate([3.0, 9.0, 6.0]):
+        w.add(float(i), v)
+    assert w.maximum() == pytest.approx(9.0)
+
+
+def test_maximum_tracks_expiry():
+    w = SlidingWindow(100.0)
+    w.add(0.0, 50.0)
+    w.add(150.0, 20.0)
+    assert w.maximum(now=150.0) == pytest.approx(20.0)
+
+
+def test_percentile_extremes():
+    w = SlidingWindow(1e9)
+    for i in range(10):
+        w.add(float(i), float(i))
+    assert w.percentile(0.0) == pytest.approx(0.0)
+    assert w.percentile(1.0) == pytest.approx(9.0)
+
+
+def test_percentile_of_empty_window_is_zero():
+    assert SlidingWindow(1000.0).percentile(0.5) == 0.0
+
+
+def test_rate_of_empty_window_is_zero():
+    assert SlidingWindow(1000.0).rate_per_second(1_000.0) == 0.0
+
+
+def test_rate_of_burst_at_one_instant():
+    w = SlidingWindow(1_000_000.0)
+    for _ in range(5):
+        w.add(100.0, 1.0)
+    # Zero elapsed span is clamped to 1 us, not a division by zero.
+    assert w.rate_per_second(100.0) == pytest.approx(5e6)
+
+
+def test_std_of_single_sample_is_zero():
+    w = SlidingWindow(1000.0)
+    w.add(0.0, 42.0)
+    assert w.std() == 0.0
+
+
+def test_values_without_now_do_not_expire():
+    w = SlidingWindow(100.0)
+    w.add(0.0, 1.0)
+    w.add(500.0, 2.0)  # expires the first sample at add-time
+    w2 = SlidingWindow(100.0)
+    w2.add(0.0, 1.0)
+    # Reading without a clock must not silently drop samples.
+    assert w2.values() == [1.0]
+    assert w.values() == [2.0]
+
+
 @given(samples)
 def test_mean_bounded_by_extremes(pairs):
     w = SlidingWindow(1e12)

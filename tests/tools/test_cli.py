@@ -199,3 +199,89 @@ def test_campaign_telemetry_flag_attaches_summaries(tmp_path, capsys):
     digest = records[0]["metrics"]["telemetry"]
     assert digest["dropped"] == 0
     assert "breakdown_us" in digest
+
+
+def _write_journal(tmp_path):
+    from repro.journal import Journal, write_jsonl
+
+    journal = Journal()
+    journal.record(100.0, "net", "injector", "fault.inject",
+                   fault="process_crash", target="svc-r2",
+                   at_us=100.0, until_us=None)
+    journal.record(400.0, "s01", "gcs", "membership.view",
+                   group="svc", view_id=2, members=["svc-r1#1@s01"],
+                   joined=[], left=["svc-r2#2@s02"], crashed=False)
+    path = tmp_path / "run.journal.jsonl"
+    write_jsonl(journal.events, str(path))
+    return path
+
+
+def test_observe_command_renders_summary_and_timeline(tmp_path, capsys):
+    path = _write_journal(tmp_path)
+    assert main(["observe", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "availability" in out
+    assert "MTTR" in out
+    assert "process_crash" in out
+    assert "GROUP" in out  # the membership.view timeline line
+
+
+def test_observe_command_kind_filter_and_limit(tmp_path, capsys):
+    path = _write_journal(tmp_path)
+    assert main(["observe", str(path), "--kind", "fault.inject",
+                 "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "FAULT" in out
+    assert "GROUP" not in out
+
+
+def test_observe_command_writes_html(tmp_path, capsys):
+    path = _write_journal(tmp_path)
+    html_path = tmp_path / "report.html"
+    assert main(["observe", str(path), "--no-timeline", "--html",
+                 str(html_path)]) == 0
+    text = html_path.read_text()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "Injected faults vs detection" in text
+
+
+def test_observe_command_rejects_missing_file(tmp_path, capsys):
+    assert main(["observe", str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_observe_command_rejects_corrupt_file(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    assert main(["observe", str(path)]) == 2
+
+
+def test_observe_command_empty_journal_exits_1(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["observe", str(path)]) == 1
+
+
+def test_campaign_journal_flag_captures_per_trial_jsonl(tmp_path, capsys):
+    import json
+
+    from repro.journal import read_jsonl
+
+    spec = _write_campaign_spec(tmp_path)
+    results = tmp_path / "out.jsonl"
+    journal_dir = tmp_path / "journals"
+    assert main(["campaign", str(spec), "--results", str(results),
+                 "--journal", str(journal_dir), "--quiet"]) == 0
+    capsys.readouterr()
+    records = [json.loads(line)
+               for line in results.read_text().splitlines()]
+    assert all("journal" in r["metrics"] for r in records
+               if r["status"] == "ok")
+    for record in records:
+        events = read_jsonl(str(journal_dir /
+                                f"{record['trial_id']}.journal.jsonl"))
+        assert len(events) == record["metrics"]["journal"]["events"]
+    crash = next(r for r in records if "process_crash" in r["trial_id"])
+    digest = crash["metrics"]["journal"]
+    assert digest["faults_injected"] == 1
+    assert digest["faults_matched"] + digest["faults_missed"] == 1
