@@ -1,0 +1,80 @@
+"""Soft performance gate: diff fresh bench artifacts against baselines.
+
+Usage::
+
+    python scripts/ci_bench_gate.py <fresh_dir> <baseline_dir> \
+        [--tolerance 0.20]
+
+For every ``BENCH_<profile>.json`` present in *both* directories, the
+profile's headline throughput metric (``events_per_sec``, falling back
+to ``trials_per_sec``) is compared.  A drop of more than ``tolerance``
+(relative) fails the gate with exit code 1; CI runs this inside a
+``continue-on-error`` job, so a breach is a loud warning, not a red
+build — bench numbers on shared CI runners are noisy, and the
+committed baselines were measured on a different machine.  Improvements
+and missing baselines never fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Headline throughput metric per artifact, in preference order.
+HEADLINE_METRICS = ("events_per_sec", "trials_per_sec")
+
+
+def headline(metrics: dict) -> tuple:
+    """Pick the headline (name, value) throughput of one artifact."""
+    for name in HEADLINE_METRICS:
+        if name in metrics:
+            return name, float(metrics[name])
+    raise KeyError(f"no headline metric among {HEADLINE_METRICS}")
+
+
+def main(argv=None) -> int:
+    """Compare artifacts; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh_dir")
+    parser.add_argument("baseline_dir")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="max relative throughput drop (default 0.20)")
+    args = parser.parse_args(argv)
+
+    breaches = 0
+    compared = 0
+    for baseline_path in sorted(
+            glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json"))):
+        name = os.path.basename(baseline_path)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(fresh_path):
+            print(f"{name}: no fresh artifact; skipped")
+            continue
+        with open(baseline_path) as handle:
+            base = json.load(handle)
+        with open(fresh_path) as handle:
+            fresh = json.load(handle)
+        metric, base_value = headline(base["metrics"])
+        fresh_value = float(fresh["metrics"].get(metric, 0.0))
+        ratio = fresh_value / base_value if base_value else 0.0
+        compared += 1
+        verdict = "ok"
+        if ratio < 1.0 - args.tolerance:
+            verdict = f"REGRESSION (> {args.tolerance:.0%} drop)"
+            breaches += 1
+        print(f"{name}: {metric} baseline {base_value:,.0f} "
+              f"fresh {fresh_value:,.0f} ({ratio:.2f}x)  {verdict}")
+
+    if compared == 0:
+        print("bench gate: nothing to compare")
+        return 0
+    print(f"bench gate: {'PASS' if breaches == 0 else 'FAIL'} "
+          f"({breaches} breach(es) of {compared} profile(s))")
+    return 0 if breaches == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Performance-benchmark harness (``python -m repro bench``).
+
+A fixed suite of calibrated profiles measuring the hot paths this
+repository optimizes: kernel event throughput (against a same-machine
+pre-optimization reference kernel), the full-stack round-trip
+scenario, and campaign wall clock through the worker pool.  Results
+are written as canonical sorted-keys JSON artifacts
+(``BENCH_<profile>.json``) that CI diffs against committed baselines.
+"""
+
+from repro.bench.artifact import (
+    BenchReport,
+    artifact_path,
+    read_artifact,
+    write_artifact,
+)
+from repro.bench.profiles import PROFILE_NAMES, run_profile, run_suite
+from repro.bench.reference import ReferenceSimulator
+
+__all__ = [
+    "BenchReport",
+    "PROFILE_NAMES",
+    "ReferenceSimulator",
+    "artifact_path",
+    "read_artifact",
+    "run_profile",
+    "run_suite",
+    "write_artifact",
+]

@@ -1,0 +1,63 @@
+"""Canonical JSON artifacts for bench results.
+
+Every profile run is written as ``BENCH_<profile>.json`` with sorted
+keys and a fixed layout, so two runs of the same profile diff cleanly
+— the CI smoke job compares a fresh run's throughput against the
+committed baseline artifact this module wrote.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["BenchReport", "artifact_path", "read_artifact",
+           "write_artifact"]
+
+#: Artifact schema version; bump when the layout changes.
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class BenchReport:
+    """Outcome of one bench profile run."""
+
+    profile: str
+    quick: bool
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, ready for canonical serialization."""
+        return {
+            "version": ARTIFACT_VERSION,
+            "profile": self.profile,
+            "quick": self.quick,
+            "parameters": dict(self.parameters),
+            "metrics": {key: round(float(value), 3)
+                        for key, value in self.metrics.items()},
+        }
+
+
+def artifact_path(out_dir: str, profile: str) -> str:
+    """Path of the canonical artifact for ``profile`` in ``out_dir``."""
+    return os.path.join(out_dir, f"BENCH_{profile}.json")
+
+
+def write_artifact(report: BenchReport, out_dir: str = ".") -> str:
+    """Serialize ``report`` as canonical sorted-keys JSON; returns the
+    path written."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = artifact_path(out_dir, report.profile)
+    rendered = json.dumps(report.to_dict(), sort_keys=True, indent=2)
+    with open(path, "w") as handle:
+        handle.write(rendered + "\n")
+    return path
+
+
+def read_artifact(path: str) -> Dict[str, Any]:
+    """Load one artifact back as a dict (raises on malformed JSON)."""
+    with open(path) as handle:
+        return json.load(handle)

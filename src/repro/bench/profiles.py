@@ -1,0 +1,219 @@
+"""The fixed bench suite: calibrated performance profiles.
+
+Three profiles, each reporting wall-clock-grounded throughput numbers
+plus peak RSS:
+
+- ``kernel_events`` — pure event-loop throughput: an event-chain
+  workload (the dispatch fast path) and a timer-churn workload (the
+  cancel/compaction path), each run on both the optimized kernel and
+  the :class:`~repro.bench.reference.ReferenceSimulator`, so the
+  artifact carries a same-machine ``speedup_vs_reference``;
+- ``rtt`` — the paper's round-trip scenario (active and warm-passive
+  replication over the full GCS/ORB stack), reporting events/sec and
+  simulated-µs per wall-ms;
+- ``campaign`` — a small fault-injection campaign through the
+  persistent worker pool, reporting trials/sec.
+
+``quick=True`` shrinks every workload to CI-smoke size (seconds, not
+minutes); the metric *names* are identical either way so baselines
+stay diffable.
+"""
+
+from __future__ import annotations
+
+import resource
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.bench.artifact import BenchReport
+from repro.bench.reference import ReferenceSimulator
+from repro.sim.kernel import Simulator
+
+__all__ = ["PROFILE_NAMES", "run_profile", "run_suite"]
+
+
+def _peak_rss_kb() -> float:
+    """Peak resident set size of this process, in KiB."""
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` and return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# kernel_events: raw event-loop throughput
+# ---------------------------------------------------------------------------
+
+def _chain_workload(sim: Simulator, n_chains: int, length: int) -> int:
+    """``n_chains`` interleaved event chains, each ``length`` deep —
+    the shape of cascaded network/CPU completions.  Returns the event
+    count dispatched."""
+
+    def tick(remaining: int) -> None:
+        if remaining:
+            sim.schedule_fast(1.0, tick, remaining - 1)
+
+    for lane in range(n_chains):
+        sim.schedule_fast(float(lane % 7) * 0.25, tick, length - 1)
+    sim.run()
+    return sim.events_dispatched
+
+
+def _churn_workload(sim: Simulator, n_ticks: int, horizon: float) -> int:
+    """Retransmit-timer churn: every tick arms a far-future timeout
+    and cancels the previous one, exactly the pattern the reliable
+    links and failure detectors produce.  Cancelled timers accumulate
+    ahead of the clock, which is what heap compaction targets.
+    Returns the event count dispatched."""
+    live: List[Any] = [None]
+
+    def timeout() -> None:
+        """The timer body that (almost) never runs."""
+
+    def tick(remaining: int) -> None:
+        if live[0] is not None:
+            live[0].cancel()
+        live[0] = sim.schedule_fast(horizon, timeout)
+        if remaining:
+            sim.schedule_fast(1.0, tick, remaining - 1)
+
+    sim.schedule_fast(0.0, tick, n_ticks - 1)
+    sim.run()
+    return sim.events_dispatched
+
+
+def _kernel_events(quick: bool) -> BenchReport:
+    """Run chain + churn on both kernels; report throughput ratios."""
+    n_chains, length = (8, 25_000) if not quick else (8, 5_000)
+    n_ticks, horizon = (200_000, 10_000.0) if not quick else (40_000, 10_000.0)
+
+    metrics: Dict[str, float] = {}
+    total_events = 0
+    total_wall = 0.0
+    total_ref_wall = 0.0
+    for key, run in (
+            ("chain", lambda sim: _chain_workload(sim, n_chains, length)),
+            ("churn", lambda sim: _churn_workload(sim, n_ticks, horizon))):
+        fast_events, fast_wall = _timed(lambda: run(Simulator(seed=1)))
+        ref_events, ref_wall = _timed(lambda: run(ReferenceSimulator(seed=1)))
+        fast_rate = fast_events / max(fast_wall, 1e-9)
+        ref_rate = ref_events / max(ref_wall, 1e-9)
+        metrics[f"{key}_events_per_sec"] = fast_rate
+        metrics[f"{key}_reference_events_per_sec"] = ref_rate
+        metrics[f"{key}_speedup_vs_reference"] = fast_rate / ref_rate
+        total_events += fast_events
+        total_wall += fast_wall
+        total_ref_wall += ref_wall
+
+    metrics["events_per_sec"] = total_events / max(total_wall, 1e-9)
+    # Both kernels dispatch the same events, so the suite-level
+    # speedup reduces to the wall-clock ratio.
+    metrics["speedup_vs_reference"] = total_ref_wall / max(total_wall, 1e-9)
+    metrics["wall_s"] = total_wall
+    metrics["peak_rss_kb"] = _peak_rss_kb()
+    return BenchReport(
+        profile="kernel_events", quick=quick,
+        parameters={"n_chains": n_chains, "chain_length": length,
+                    "churn_ticks": n_ticks, "churn_horizon_us": horizon},
+        metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# rtt: the full-stack round-trip scenario
+# ---------------------------------------------------------------------------
+
+def _rtt(quick: bool) -> BenchReport:
+    """Active vs. warm-passive closed-loop round trips over the whole
+    GCS/ORB stack — the workload every figure in the paper runs."""
+    from repro.experiments.scenarios import run_replicated_load
+    from repro.replication import ReplicationStyle
+
+    n_requests = 60 if quick else 250
+    metrics: Dict[str, float] = {}
+    total_events = 0
+    total_sim_us = 0.0
+    total_wall = 0.0
+    for style in (ReplicationStyle.ACTIVE, ReplicationStyle.WARM_PASSIVE):
+        result, wall = _timed(lambda: run_replicated_load(
+            style, n_replicas=3, n_clients=2, n_requests=n_requests,
+            seed=1))
+        key = style.value
+        metrics[f"{key}_latency_mean_us"] = result.latency_mean_us
+        metrics[f"{key}_events_per_sec"] = (result.events_dispatched
+                                            / max(wall, 1e-9))
+        total_events += result.events_dispatched
+        total_sim_us += result.duration_us
+        total_wall += wall
+
+    metrics["events_per_sec"] = total_events / max(total_wall, 1e-9)
+    metrics["sim_us_per_wall_ms"] = total_sim_us / max(total_wall * 1e3, 1e-9)
+    metrics["wall_s"] = total_wall
+    metrics["peak_rss_kb"] = _peak_rss_kb()
+    return BenchReport(
+        profile="rtt", quick=quick,
+        parameters={"n_replicas": 3, "n_clients": 2,
+                    "n_requests": n_requests},
+        metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# campaign: worker-pool wall clock
+# ---------------------------------------------------------------------------
+
+def _campaign(quick: bool) -> BenchReport:
+    """A small fault-injection sweep through the persistent worker
+    pool (2 workers), measuring end-to-end campaign wall clock."""
+    from repro.campaign import CampaignSpec, ResultsStore, run_campaign
+
+    seeds = [0] if quick else [0, 1]
+    duration_us = 250_000.0 if quick else 500_000.0
+    spec = CampaignSpec(
+        name="bench", styles=["active", "warm_passive"],
+        replica_counts=[2], checkpoint_intervals=[1],
+        fault_loads=["none", "process_crash"], seeds=seeds,
+        n_clients=2, duration_us=duration_us, rate_per_s=150.0,
+        settle_us=250_000.0)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        store = ResultsStore(f"{tmp}/results.jsonl")
+        summary, wall = _timed(
+            lambda: run_campaign(spec, store, workers=2))
+    metrics = {
+        "trials": float(summary.total),
+        "failed": float(summary.failed),
+        "trials_per_sec": summary.total / max(wall, 1e-9),
+        "sim_us_per_wall_ms": (summary.total * (duration_us + 250_000.0)
+                               / max(wall * 1e3, 1e-9)),
+        "wall_s": wall,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return BenchReport(
+        profile="campaign", quick=quick,
+        parameters={"trials": summary.total, "workers": 2,
+                    "duration_us": duration_us, "seeds": len(seeds)},
+        metrics=metrics)
+
+
+_PROFILES: Dict[str, Callable[[bool], BenchReport]] = {
+    "kernel_events": _kernel_events,
+    "rtt": _rtt,
+    "campaign": _campaign,
+}
+
+#: Names of the fixed suite, in run order.
+PROFILE_NAMES: Tuple[str, ...] = tuple(_PROFILES)
+
+
+def run_profile(name: str, quick: bool = False) -> BenchReport:
+    """Run one profile by name; raises ``KeyError`` on unknown names."""
+    return _PROFILES[name](quick)
+
+
+def run_suite(names: Tuple[str, ...] = PROFILE_NAMES,
+              quick: bool = False) -> List[BenchReport]:
+    """Run the given profiles in order and return their reports."""
+    return [run_profile(name, quick=quick) for name in names]

@@ -1,14 +1,19 @@
-"""Campaign execution: fan trials out across worker processes.
+"""Campaign execution: fan trials out across a persistent worker pool.
 
 The simulator is single-threaded Python, so the only real speed-up
 for a campaign is *process-level* parallelism (DAVOS reaches the same
-conclusion for its HDL simulators).  Each trial runs in a worker
-process of its own:
+conclusion for its HDL simulators).  A fixed pool of worker processes
+is forked once per campaign and fed *chunks* of trials over a pipe —
+amortizing the fork/import cost that a process-per-trial design pays
+on every single trial.  The guarantees are unchanged:
 
-- **crash isolation** — a worker segfaulting or raising marks that
-  one trial ``failed``; the campaign keeps going;
-- **per-trial timeout** — a hung simulation becomes a ``timeout``
-  record instead of a hung campaign;
+- **crash isolation** — a trial raising is caught inside the worker
+  and shipped back as a ``failed`` record; a worker segfaulting or
+  exiting kills only that worker, which is respawned, and only the
+  trial it was running is marked ``failed``;
+- **per-trial timeout** — workers announce each trial before running
+  it, so a hung simulation becomes a ``timeout`` record (the worker
+  is killed and replaced) instead of a hung campaign;
 - **deterministic output** — per-trial seeds derive from the spec
   alone and records are written in expansion order, so a parallel run
   produces a byte-identical results file to a serial one;
@@ -81,17 +86,37 @@ def _failure_record(trial: TrialSpec, status: str,
                        spec=trial.to_dict(), error=error)
 
 
-def _trial_worker(conn, trial_dict: Dict[str, object],
-                  telemetry: bool = False,
-                  journal_dir: Optional[str] = None) -> None:
-    """Worker-process entry point: run one trial, ship the record."""
-    trial = TrialSpec.from_dict(trial_dict)
+def _pool_worker(conn, telemetry: bool = False,
+                 journal_dir: Optional[str] = None) -> None:
+    """Persistent worker-process loop: run chunks of trials until told
+    to stop.
+
+    Protocol (worker side): receive ``("chunk", [(index, trial_dict),
+    ...])`` or ``("stop",)``; for every trial send ``("start", index)``
+    before executing (arms the master's per-trial timeout) and
+    ``("done", index, kind, payload)`` after, then ``("idle",)`` once
+    the chunk drains.  A trial raising is shipped back as an error
+    payload — the worker itself survives and keeps serving.
+    """
     try:
-        record = execute_trial(trial, telemetry=telemetry,
-                               journal_dir=journal_dir)
-        conn.send(("ok", record.to_line()))
-    except BaseException:  # noqa: BLE001 - the whole point is isolation
-        conn.send(("error", traceback.format_exc(limit=20)))
+        while True:
+            try:
+                command = conn.recv()
+            except EOFError:
+                break
+            if command[0] != "chunk":
+                break
+            for index, trial_dict in command[1]:
+                conn.send(("start", index))
+                trial = TrialSpec.from_dict(trial_dict)
+                try:
+                    record = execute_trial(trial, telemetry=telemetry,
+                                           journal_dir=journal_dir)
+                    conn.send(("done", index, "ok", record.to_line()))
+                except BaseException:  # noqa: BLE001 - isolation is the point
+                    conn.send(("done", index, "error",
+                               traceback.format_exc(limit=20)))
+            conn.send(("idle",))
     finally:
         conn.close()
 
@@ -109,14 +134,24 @@ class CampaignSummary:
 
 
 @dataclass
-class _Running:
-    """Book-keeping for one in-flight worker."""
+class _PoolWorker:
+    """Master-side book-keeping for one persistent pool worker."""
 
-    index: int
-    trial: TrialSpec
     process: multiprocessing.process.BaseProcess
     conn: object
-    started_at: float
+    #: Chunk items handed to the worker and not yet reported done,
+    #: keyed by expansion index (insertion order = execution order).
+    assigned: "Dict[int, TrialSpec]" = field(default_factory=dict)
+    #: Index of the trial the worker announced it is executing.
+    current: Optional[int] = None
+    #: Wall-clock start of the current trial (or chunk dispatch).
+    started_at: float = 0.0
+    #: True once the worker reported its chunk drained.
+    idle: bool = True
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.assigned)
 
 
 def _mp_context():
@@ -193,13 +228,15 @@ class CampaignRunner:
                       total: int, skipped: int) -> List[TrialRecord]:
         ctx = _mp_context()
         pending = list(todo)
-        running: List[_Running] = []
         finished: Dict[int, TrialRecord] = {}
         # Records are buffered and flushed in expansion order so the
         # store is byte-identical to a serial run's.
         write_queue = [index for index, _ in todo]
         next_write = 0
         done = skipped
+        chunk_size = self._chunk_size(len(todo))
+        pool = [self._spawn(ctx)
+                for _ in range(min(self.workers, len(todo)))]
 
         def flush() -> None:
             nonlocal next_write
@@ -208,64 +245,143 @@ class CampaignRunner:
                 self.store.append(finished[write_queue[next_write]])
                 next_write += 1
 
-        while pending or running:
-            while pending and len(running) < self.workers:
-                index, trial = pending.pop(0)
-                parent, child = ctx.Pipe(duplex=False)
-                process = ctx.Process(
-                    target=_trial_worker,
-                    args=(child, trial.to_dict(), self.telemetry,
-                          self.journal_dir),
-                    daemon=True)
-                process.start()
-                child.close()
-                running.append(_Running(index=index, trial=trial,
-                                        process=process, conn=parent,
-                                        started_at=time.monotonic()))
-
-            time.sleep(0.005)
-            still_running: List[_Running] = []
-            for worker in running:
-                record = self._collect(worker)
-                if record is None:
-                    still_running.append(worker)
-                    continue
-                finished[worker.index] = record
+        def settle(record_pairs: List[Tuple[int, TrialRecord]]) -> None:
+            nonlocal done
+            for index, record in record_pairs:
+                finished[index] = record
                 flush()
                 done += 1
                 self._report(done, total, record)
-            running = still_running
+
+        while pending or any(w.busy for w in pool):
+            for worker in pool:
+                if worker.idle and pending:
+                    chunk, pending = pending[:chunk_size], pending[chunk_size:]
+                    self._dispatch(worker, chunk)
+
+            time.sleep(0.005)
+            for slot, worker in enumerate(pool):
+                records, replacement = self._collect(worker, ctx, pending)
+                settle(records)
+                if replacement is not None:
+                    pool[slot] = replacement
 
         flush()
+        for worker in pool:
+            self._retire(worker)
         return [finished[index] for index, _ in todo]
 
-    def _collect(self, worker: _Running) -> Optional[TrialRecord]:
-        """One poll of an in-flight worker; a record ends it."""
-        if worker.conn.poll():
-            try:
-                kind, payload = worker.conn.recv()
-            except EOFError:
-                kind, payload = "error", "worker closed the pipe"
-            self._reap(worker)
-            if kind == "ok":
-                return TrialRecord.from_line(payload)
-            return _failure_record(worker.trial, "failed", str(payload))
-        if not worker.process.is_alive():
-            self._reap(worker)
-            return _failure_record(
-                worker.trial, "failed",
-                f"worker died (exit code {worker.process.exitcode})")
-        if time.monotonic() - worker.started_at > self.trial_timeout_s:
-            worker.process.terminate()
-            self._reap(worker)
-            return _failure_record(
-                worker.trial, "timeout",
-                f"trial exceeded {self.trial_timeout_s:.0f}s")
-        return None
+    def _chunk_size(self, n_todo: int) -> int:
+        """Trials per dispatch: small enough to keep the pool balanced
+        (≈4 chunks per worker), capped so a late straggler never sits
+        behind a long private queue."""
+        per_worker = -(-n_todo // (self.workers * 4))
+        return max(1, min(8, per_worker))
+
+    def _spawn(self, ctx) -> _PoolWorker:
+        """Fork one persistent pool worker."""
+        parent, child = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_pool_worker,
+            args=(child, self.telemetry, self.journal_dir),
+            daemon=True)
+        process.start()
+        child.close()
+        return _PoolWorker(process=process, conn=parent)
 
     @staticmethod
-    def _reap(worker: _Running) -> None:
+    def _dispatch(worker: _PoolWorker,
+                  chunk: List[Tuple[int, TrialSpec]]) -> None:
+        worker.assigned = {index: trial for index, trial in chunk}
+        worker.current = None
+        worker.idle = False
+        worker.started_at = time.monotonic()
+        worker.conn.send(("chunk",
+                          [(index, trial.to_dict())
+                           for index, trial in chunk]))
+
+    def _collect(self, worker: _PoolWorker, ctx,
+                 pending: List[Tuple[int, TrialSpec]],
+                 ) -> Tuple[List[Tuple[int, TrialRecord]],
+                            Optional[_PoolWorker]]:
+        """One poll of a pool worker.
+
+        Returns records produced this poll plus a replacement worker
+        when this one had to be killed (timeout) or died underneath us
+        (crash).  Unfinished chunk items of a dead worker go back onto
+        ``pending`` — only the trial it was actually running is
+        recorded as failed/timed out.
+        """
+        records: List[Tuple[int, TrialRecord]] = []
+        if worker.conn.closed:
+            return records, None
+        while worker.conn.poll():
+            try:
+                message = worker.conn.recv()
+            except EOFError:
+                break
+            if message[0] == "start":
+                worker.current = message[1]
+                worker.started_at = time.monotonic()
+            elif message[0] == "done":
+                _, index, kind, payload = message
+                trial = worker.assigned.pop(index)
+                worker.current = None
+                if kind == "ok":
+                    records.append((index, TrialRecord.from_line(payload)))
+                else:
+                    records.append((index, _failure_record(
+                        trial, "failed", str(payload))))
+            elif message[0] == "idle":
+                worker.idle = True
+
+        if not worker.busy:
+            return records, None
+        if not worker.process.is_alive():
+            reason = (f"worker died "
+                      f"(exit code {worker.process.exitcode})")
+            records.extend(self._abandon(worker, "failed", reason, pending))
+            return records, self._respawn(ctx, pending)
+        if time.monotonic() - worker.started_at > self.trial_timeout_s:
+            worker.process.terminate()
+            reason = f"trial exceeded {self.trial_timeout_s:.0f}s"
+            records.extend(self._abandon(worker, "timeout", reason, pending))
+            return records, self._respawn(ctx, pending)
+        return records, None
+
+    def _abandon(self, worker: _PoolWorker, status: str, reason: str,
+                 pending: List[Tuple[int, TrialSpec]],
+                 ) -> List[Tuple[int, TrialRecord]]:
+        """Tear down a dead/hung worker: fail the trial it was running,
+        requeue the rest of its chunk, release its resources."""
+        self._retire(worker)
+        records = []
+        for index, trial in worker.assigned.items():
+            if index == worker.current or worker.current is None:
+                records.append((index, _failure_record(
+                    trial, status, reason)))
+                worker.current = index  # requeue only what follows
+            else:
+                pending.append((index, trial))
+        worker.assigned = {}
+        return records
+
+    def _respawn(self, ctx,
+                 pending: List[Tuple[int, TrialSpec]],
+                 ) -> Optional[_PoolWorker]:
+        return self._spawn(ctx) if pending else None
+
+    @staticmethod
+    def _retire(worker: _PoolWorker) -> None:
+        """Stop one pool worker (graceful if it is still listening)."""
+        try:
+            worker.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
         worker.process.join(timeout=5.0)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
         worker.conn.close()
 
     def _report(self, done: int, total: int,

@@ -10,6 +10,7 @@
 - ``campaign``  — run a fault-injection campaign from a spec file
 - ``trace``     — record a traced run; export spans/metrics
 - ``observe``   — render a dependability journal (timeline/summary/HTML)
+- ``bench``     — run the performance suite; write BENCH_*.json artifacts
 """
 
 from __future__ import annotations
@@ -256,6 +257,23 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the calibrated performance suite and write artifacts."""
+    from repro.bench import PROFILE_NAMES, run_profile, write_artifact
+
+    names = tuple(args.profile) if args.profile else PROFILE_NAMES
+    mode = "quick" if args.quick else "full"
+    print(f"bench ({mode}): {', '.join(names)}")
+    for name in names:
+        report = run_profile(name, quick=args.quick)
+        print(f"\n[{name}]")
+        for key in sorted(report.metrics):
+            print(f"  {key:32s} {report.metrics[key]:>14.1f}")
+        path = write_artifact(report, args.out_dir)
+        print(f"  wrote {path}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
     write_report(sys.stdout, n_requests=args.requests, seed=args.seed)
@@ -403,6 +421,20 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also write a self-contained HTML "
                                      "report to this path")
 
+    bench_parser = sub.add_parser(
+        "bench", help="run the performance suite; write canonical "
+                      "BENCH_<profile>.json artifacts")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="CI-smoke sizing (seconds per "
+                                   "profile instead of minutes)")
+    bench_parser.add_argument("--out-dir", default=".",
+                              help="directory for BENCH_*.json "
+                                   "artifacts (default: cwd)")
+    bench_parser.add_argument("--profile", action="append",
+                              choices=["kernel_events", "rtt", "campaign"],
+                              help="run only this profile (repeatable; "
+                                   "default: all)")
+
     sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
     sub.add_parser("verify",
                    help="self-check calibration + Table 2 pattern")
@@ -410,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 _COMMANDS = {
+    "bench": _cmd_bench,
     "breakdown": _cmd_breakdown,
     "profile": _cmd_profile,
     "policy": _cmd_policy,

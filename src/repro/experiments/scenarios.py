@@ -65,6 +65,8 @@ class ScenarioResult:
     throughput_per_s: float
     duration_us: float
     completed: int
+    #: Kernel events dispatched over the whole run (bench throughput).
+    events_dispatched: int = 0
     breakdown: Dict[str, float] = field(default_factory=dict)
     per_client_latency_us: List[float] = field(default_factory=list)
     #: Cross-request per-component stats (set when timelines are kept).
@@ -178,6 +180,7 @@ def run_replicated_load(style: ReplicationStyle, n_replicas: int,
         throughput_per_s=(completed / duration * 1e6 if duration > 0
                           else 0.0),
         duration_us=duration, completed=completed,
+        events_dispatched=testbed.sim.events_dispatched,
         breakdown=stats.breakdown() if stats else {},
         per_client_latency_us=per_client,
         timeline_stats=stats,

@@ -84,10 +84,19 @@ FLUSH_TIMEOUT_US = 500_000.0
 
 
 class _GroupState:
-    """Per-group bookkeeping at one daemon (identical everywhere)."""
+    """Per-group bookkeeping at one daemon (identical everywhere).
+
+    ``fanout_hosts`` and ``local_members`` are routing caches derived
+    from ``members``: the sorted unique member hosts (every multicast
+    fan-out iterates them) and this daemon's co-located members (every
+    local delivery iterates them).  They are recomputed only when the
+    membership changes — previously each multicast paid a ``sorted()``
+    plus a set build per fan-out.
+    """
 
     __slots__ = ("members", "view_id", "last_stamp", "history",
-                 "recent_msg_ids", "causal_clock")
+                 "recent_msg_ids", "causal_clock", "fanout_hosts",
+                 "local_members")
 
     def __init__(self) -> None:
         self.members: List[MemberId] = []
@@ -96,6 +105,8 @@ class _GroupState:
         self.history: "OrderedDict[int, Stamped]" = OrderedDict()
         self.recent_msg_ids: Set[str] = set()
         self.causal_clock = VectorClock()
+        self.fanout_hosts: Tuple[str, ...] = ()
+        self.local_members: Tuple[MemberId, ...] = ()
 
 
 class GcsDaemon(Actor):
@@ -114,8 +125,15 @@ class GcsDaemon(Actor):
         self.endpoint = Endpoint(self.host.name, GCS_PORT)
         self.view = DaemonView(view_id=0, members=tuple(sorted(peers)))
 
-        # Transport.
+        # Transport.  ``_sends`` caches one pre-bound ``link.send`` per
+        # live peer so fan-out loops skip the dict-lookup + closed-check
+        # dance of :meth:`_link`; a closing link evicts its own entry.
         self._links: Dict[str, ReliableLink] = {}
+        self._sends: Dict[str, Callable[[Any, int], None]] = {}
+        # Per-view routing caches, rebuilt on every view install.
+        self._view_set: frozenset = frozenset()
+        self._hb_targets: Tuple[Endpoint, ...] = ()
+        self._rebuild_view_routing()
         self.host.bind(GCS_PORT, self._on_frame)
 
         # Failure detection.
@@ -293,9 +311,37 @@ class GcsDaemon(Actor):
                 self.sim, self.network, self.cal,
                 local=self.endpoint, peer=Endpoint(peer, GCS_PORT),
                 deliver=lambda inner, nbytes, p=peer:
-                    self._on_reliable(p, inner, nbytes))
+                    self._on_reliable(p, inner, nbytes),
+                on_close=lambda p=peer: self._sends.pop(p, None))
             self._links[peer] = link
+            self._sends[peer] = link.send
         return link
+
+    def _send_to(self, peer: str) -> Callable[[Any, int], None]:
+        """Pre-bound reliable ``send`` for ``peer`` (cached per link
+        lifetime; re-bound lazily after a link closes)."""
+        send = self._sends.get(peer)
+        if send is None:
+            send = self._link(peer).send
+        return send
+
+    def _rebuild_view_routing(self) -> None:
+        """Recompute the per-daemon-view caches: the membership set
+        (hot ``in`` checks) and the heartbeat target endpoints."""
+        members = self.view.members
+        self._view_set = frozenset(members)
+        self._hb_targets = tuple(Endpoint(peer, GCS_PORT)
+                                 for peer in members
+                                 if peer != self.host.name)
+
+    def _rebuild_group_routing(self, state: _GroupState) -> None:
+        """Recompute a group's fan-out / local-delivery caches after a
+        membership change (the only place ``state.members`` mutates)."""
+        members = state.members
+        host_name = self.host.name
+        state.fanout_hosts = tuple(sorted({m.host for m in members}))
+        state.local_members = tuple(m for m in members
+                                    if m.host == host_name)
 
     def _on_frame(self, frame: Frame) -> None:
         if not self.alive:
@@ -406,7 +452,7 @@ class GcsDaemon(Actor):
         if self.is_sequencer:
             self._cpu(lambda: self._dispatch(self.host.name, message))
         else:
-            self._link(self.sequencer).send(message, nbytes)
+            self._send_to(self.sequencer)(message, nbytes)
 
     def _sequencer_stamp_data(self, forward: Forward) -> None:
         if not self.is_sequencer:
@@ -423,8 +469,8 @@ class GcsDaemon(Actor):
                         msg_id=forward.msg_id, safe=forward.safe)
         if forward.safe:
             # Track which member daemons still owe an acknowledgement.
-            targets = {m.host for m in self._group(forward.group).members}
-            self._safe_awaiting[(forward.group, seq)] = set(targets)
+            self._safe_awaiting[(forward.group, seq)] = \
+                set(state.fanout_hosts)
         self._disseminate(stamp)
 
     def _sequencer_stamp_membership(self, kind: StampKind, group: str,
@@ -459,17 +505,20 @@ class GcsDaemon(Actor):
         push the stamp over reliable links to the daemons that need it."""
         self.host.cpu.execute(self.cal.ordering_us, self._guard(lambda: None))
         if stamp.kind is StampKind.DATA:
-            state = self._group(stamp.group)
-            targets = {m.host for m in state.members}
+            targets = self._group(stamp.group).fanout_hosts
         else:
-            # Membership stamps refresh routing state everywhere.
-            targets = set(self.view.members)
+            # Membership stamps refresh routing state everywhere; the
+            # daemon view is kept sorted and unique, so iterating it
+            # matches the old sorted(set(...)) order exactly.
+            targets = self.view.members
         nbytes = stamp.payload_bytes + 24
-        for target in sorted(targets):
-            if target == self.host.name:
+        view_set = self._view_set
+        host_name = self.host.name
+        for target in targets:
+            if target == host_name:
                 continue
-            if target in self.view.members:
-                self._link(target).send(stamp, nbytes)
+            if target in view_set:
+                self._send_to(target)(stamp, nbytes)
         self._apply_stamp(stamp)
 
     def _apply_stamp(self, stamp: Stamped) -> None:
@@ -499,13 +548,12 @@ class GcsDaemon(Actor):
                 if self.is_sequencer:
                     self._on_safe_ack(ack)
                 else:
-                    self._link(self.sequencer).send(
+                    self._send_to(self.sequencer)(
                         ack, estimate_control_bytes(ack))
                 return
-            for member in list(state.members):
-                if member.host == self.host.name:
-                    self._deliver_data_to(member, stamp.group, stamp.origin,
-                                          stamp.payload, stamp.payload_bytes)
+            for member in state.local_members:
+                self._deliver_data_to(member, stamp.group, stamp.origin,
+                                      stamp.payload, stamp.payload_bytes)
         elif stamp.kind is StampKind.JOIN:
             self._apply_membership(state, stamp.group, joined=[stamp.origin],
                                    left=[], crashed=False)
@@ -536,6 +584,7 @@ class GcsDaemon(Actor):
         # Members stay in join order (identical at every daemon because
         # joins are totally ordered): members[0] is the longest-standing
         # member, which the replication layer elects as primary.
+        self._rebuild_group_routing(state)
         state.view_id += 1
         view = GroupView(group, state.view_id, tuple(state.members))
         self.trace("gcs.view",
@@ -552,9 +601,8 @@ class GcsDaemon(Actor):
                            members=[str(m) for m in state.members],
                            joined=[str(m) for m in joined],
                            left=[str(m) for m in left], crashed=crashed)
-        for member in list(state.members):
-            if member.host == self.host.name:
-                self._deliver_view_to(member, view, joined, left, crashed)
+        for member in state.local_members:
+            self._deliver_view_to(member, view, joined, left, crashed)
         # A local member that just left still gets the view that
         # excludes it (so its listener learns the leave completed).
         for member in left:
@@ -573,28 +621,27 @@ class GcsDaemon(Actor):
             return
         awaiting.discard(ack.sender)
         # Daemons that left the view no longer owe acknowledgements.
-        awaiting &= set(self.view.members)
+        awaiting &= self._view_set
         if awaiting:
             return
         del self._safe_awaiting[key]
         release = SafeRelease(group=ack.group, seq=ack.seq)
-        targets = {m.host for m in self._group(ack.group).members}
-        for target in sorted(targets):
+        nbytes = estimate_control_bytes(release)
+        view_set = self._view_set
+        for target in self._group(ack.group).fanout_hosts:
             if target == self.host.name:
                 self._on_safe_release(release)
-            elif target in self.view.members:
-                self._link(target).send(release,
-                                        estimate_control_bytes(release))
+            elif target in view_set:
+                self._send_to(target)(release, nbytes)
 
     def _on_safe_release(self, release: SafeRelease) -> None:
         stamp = self._safe_held.pop((release.group, release.seq), None)
         if stamp is None:
             return
         state = self._group(release.group)
-        for member in list(state.members):
-            if member.host == self.host.name:
-                self._deliver_data_to(member, stamp.group, stamp.origin,
-                                      stamp.payload, stamp.payload_bytes)
+        for member in state.local_members:
+            self._deliver_data_to(member, stamp.group, stamp.origin,
+                                  stamp.payload, stamp.payload_bytes)
 
     def _release_all_held_safe(self) -> None:
         """View change: the flush reconciliation guarantees every
@@ -617,10 +664,9 @@ class GcsDaemon(Actor):
 
     def _deliver_fifo(self, message: FifoData) -> None:
         state = self._group(message.group)
-        for member in list(state.members):
-            if member.host == self.host.name:
-                self._deliver_data_to(member, message.group, message.origin,
-                                      message.payload, message.payload_bytes)
+        for member in state.local_members:
+            self._deliver_data_to(member, message.group, message.origin,
+                                  message.payload, message.payload_bytes)
 
     # ==================================================================
     # CAUSAL grade
@@ -655,10 +701,9 @@ class GcsDaemon(Actor):
 
     def _deliver_causal_now(self, message: CausalData) -> None:
         state = self._group(message.group)
-        for member in list(state.members):
-            if member.host == self.host.name:
-                self._deliver_data_to(member, message.group, message.origin,
-                                      message.payload, message.payload_bytes)
+        for member in state.local_members:
+            self._deliver_data_to(member, message.group, message.origin,
+                                  message.payload, message.payload_bytes)
 
     # ==================================================================
     # UNRELIABLE grade
@@ -668,32 +713,29 @@ class GcsDaemon(Actor):
         message = RawData(group=group, origin=origin, payload=payload,
                           payload_bytes=payload_bytes)
         state = self._group(group)
-        targets = {m.host for m in state.members}
-        for target in sorted(targets):
+        nbytes = payload_bytes + self.cal.header_bytes
+        for target in state.fanout_hosts:
             if target == self.host.name:
                 self._deliver_raw(message)
             else:
                 self.network.send(self.endpoint, Endpoint(target, GCS_PORT),
-                                  message,
-                                  payload_bytes + self.cal.header_bytes,
-                                  kind="gcs.raw")
+                                  message, nbytes, kind="gcs.raw")
 
     def _deliver_raw(self, message: RawData) -> None:
         state = self._group(message.group)
-        for member in list(state.members):
-            if member.host == self.host.name:
-                self._deliver_data_to(member, message.group, message.origin,
-                                      message.payload, message.payload_bytes)
+        for member in state.local_members:
+            self._deliver_data_to(member, message.group, message.origin,
+                                  message.payload, message.payload_bytes)
 
     def _fanout_reliable(self, group: str, message: Any, nbytes: int,
                          local: Callable[[], None]) -> None:
         state = self._group(group)
-        targets = {m.host for m in state.members}
-        for target in sorted(targets):
+        view_set = self._view_set
+        for target in state.fanout_hosts:
             if target == self.host.name:
                 self._cpu(local)
-            elif target in self.view.members:
-                self._link(target).send(message, nbytes)
+            elif target in view_set:
+                self._send_to(target)(message, nbytes)
 
     # ==================================================================
     # Direct (point-to-point) messages
@@ -701,8 +743,8 @@ class GcsDaemon(Actor):
     def _route_direct(self, message: Direct) -> None:
         if message.dst.host == self.host.name:
             self._cpu(lambda: self._deliver_direct(message))
-        elif message.dst.host in self.view.members:
-            self._link(message.dst.host).send(message, message.payload_bytes)
+        elif message.dst.host in self._view_set:
+            self._send_to(message.dst.host)(message, message.payload_bytes)
         else:
             self.trace("gcs.drop",
                        f"direct to {message.dst} on dead host dropped")
@@ -712,7 +754,7 @@ class GcsDaemon(Actor):
         if port is None:
             return
         self._emit_ipc_span(message)
-        self.sim.schedule(self.cal.local_ipc_us, self._guard(
+        self.sim.schedule_fast(self.cal.local_ipc_us, self._guard(
             lambda: port.deliver_direct(message.src, message.payload,
                                         message.payload_bytes)))
 
@@ -725,7 +767,7 @@ class GcsDaemon(Actor):
         if port is None:
             return
         self._emit_ipc_span(payload)
-        self.sim.schedule(self.cal.local_ipc_us, self._guard(
+        self.sim.schedule_fast(self.cal.local_ipc_us, self._guard(
             lambda: port.deliver_message(group, sender, payload, nbytes)))
 
     def _emit_ipc_span(self, payload: Any) -> None:
@@ -746,7 +788,7 @@ class GcsDaemon(Actor):
         port = self._clients.get(member)
         if port is None:
             return
-        self.sim.schedule(self.cal.local_ipc_us, self._guard(
+        self.sim.schedule_fast(self.cal.local_ipc_us, self._guard(
             lambda: port.deliver_view(view, list(joined), list(left),
                                       crashed)))
 
@@ -756,10 +798,10 @@ class GcsDaemon(Actor):
     def _send_heartbeats(self) -> None:
         beat = Heartbeat(sender=self.host.name, view_id=self.view.view_id)
         nbytes = estimate_control_bytes(beat)
-        for peer in self.view.members:
-            if peer != self.host.name:
-                self.network.send(self.endpoint, Endpoint(peer, GCS_PORT),
-                                  beat, nbytes, kind="gcs.heartbeat")
+        send = self.network.send
+        src = self.endpoint
+        for target in self._hb_targets:
+            send(src, target, beat, nbytes, kind="gcs.heartbeat")
 
     def _check_failures(self) -> None:
         candidates = [peer for peer in self.view.members
@@ -910,6 +952,7 @@ class GcsDaemon(Actor):
             self._suspects.discard(peer)
             self._last_heard.pop(peer, None)
             self._detector.forget(peer)
+        self._rebuild_view_routing()
         self._suspects &= set(install.view.members)
         self._next_seq = dict(install.next_seqs)
         self.trace("gcs.install",
@@ -964,6 +1007,7 @@ class GcsDaemon(Actor):
         for link in self._links.values():
             link.close()
         self._links.clear()
+        self._sends.clear()
         self.host.unbind(GCS_PORT)
 
 

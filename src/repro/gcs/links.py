@@ -33,13 +33,18 @@ class ReliableLink:
     def __init__(self, sim: Simulator, network: Network,
                  calibration: GcsCalibration,
                  local: Endpoint, peer: Endpoint,
-                 deliver: Callable[[Any, int], None]):
+                 deliver: Callable[[Any, int], None],
+                 on_close: Optional[Callable[[], None]] = None):
         self.sim = sim
         self.network = network
         self.cal = calibration
         self.local = local
         self.peer = peer
         self._deliver = deliver
+        #: Invoked once when the link closes, so owners holding
+        #: pre-bound ``send`` references (the daemon's per-target send
+        #: cache) can drop them instead of sending into a dead link.
+        self._on_close = on_close
         # Sender state.
         self._next_out = 1
         self._unacked: Dict[int, "_Pending"] = {}
@@ -81,7 +86,7 @@ class ReliableLink:
     def _arm_retransmit(self) -> None:
         if self._retransmit_timer is not None and self._retransmit_timer.pending:
             return
-        self._retransmit_timer = self.sim.schedule(
+        self._retransmit_timer = self.sim.schedule_fast(
             self.cal.retransmit_timeout_us, self._on_retransmit_timer)
 
     def _on_retransmit_timer(self) -> None:
@@ -123,7 +128,7 @@ class ReliableLink:
     def _schedule_ack(self) -> None:
         if self._ack_timer is not None and self._ack_timer.pending:
             return
-        self._ack_timer = self.sim.schedule(ACK_DELAY_US, self._send_ack)
+        self._ack_timer = self.sim.schedule_fast(ACK_DELAY_US, self._send_ack)
 
     def _send_ack(self) -> None:
         self._ack_timer = None
@@ -145,6 +150,8 @@ class ReliableLink:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop all timers and drop buffered state (peer dead)."""
+        if self._closed:
+            return
         self._closed = True
         self._unacked.clear()
         self._stash.clear()
@@ -152,6 +159,8 @@ class ReliableLink:
             self._retransmit_timer.cancel()
         if self._ack_timer is not None:
             self._ack_timer.cancel()
+        if self._on_close is not None:
+            self._on_close()
 
     @property
     def closed(self) -> bool:

@@ -40,7 +40,7 @@ class Grade(enum.Enum):
         return self in (Grade.AGREED, Grade.SAFE)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class MemberId:
     """Identity of a connected process: (host, pid, name).
 
@@ -56,7 +56,7 @@ class MemberId:
         return f"{self.name}#{self.pid}@{self.host}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupView:
     """Membership of one group as installed at some point in the
     totally-ordered message stream.
@@ -81,7 +81,7 @@ class GroupView:
         return self.members[0] if self.members else None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DaemonView:
     """Membership of the daemon layer itself (one entry per live host)."""
 
@@ -102,7 +102,7 @@ class DaemonView:
 # best-effort data travel as raw frames.
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     """Periodic liveness beacon between daemons."""
 
@@ -110,7 +110,7 @@ class Heartbeat:
     view_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkData:
     """Reliable-link envelope: per-(src,dst) sequence number."""
 
@@ -119,7 +119,7 @@ class LinkData:
     inner_bytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkAck:
     """Cumulative acknowledgement for a reliable link."""
 
@@ -137,13 +137,17 @@ class _CarriesTrace:
     without understanding the payload.
     """
 
+    # Keep subclasses __dict__-free: a slotted dataclass inheriting
+    # from a slotless base would silently grow a per-instance dict.
+    __slots__ = ()
+
     @property
     def trace_context(self):
         inner = getattr(self, "payload", None)
         return getattr(inner, "trace_context", None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Forward(_CarriesTrace):
     """Origin daemon asks the sequencer to stamp a totally-ordered
     message (AGREED, or SAFE when ``safe`` is set)."""
@@ -163,7 +167,7 @@ class StampKind(enum.Enum):
     LEAVE = "leave"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Stamped(_CarriesTrace):
     """A sequencer-ordered event in a group's total-order stream.
 
@@ -184,7 +188,7 @@ class Stamped(_CarriesTrace):
     safe: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SafeAck:
     """Member daemon -> sequencer: 'I hold SAFE stamp (group, seq)'."""
 
@@ -193,7 +197,7 @@ class SafeAck:
     sender: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SafeRelease:
     """Sequencer -> member daemons: every member daemon holds the
     SAFE stamp; deliver it."""
@@ -202,21 +206,21 @@ class SafeRelease:
     seq: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinRequest:
     group: str
     member: MemberId
     msg_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaveRequest:
     group: str
     member: MemberId
     msg_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Direct(_CarriesTrace):
     """Point-to-point message between connected processes."""
 
@@ -226,7 +230,7 @@ class Direct(_CarriesTrace):
     payload_bytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FifoData(_CarriesTrace):
     """Sender-ordered group data (FIFO grade), multicast directly by
     the origin daemon over reliable links."""
@@ -237,7 +241,7 @@ class FifoData(_CarriesTrace):
     payload_bytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CausalData(_CarriesTrace):
     """Causally-ordered group data: vector clock keyed by origin host."""
 
@@ -248,7 +252,7 @@ class CausalData(_CarriesTrace):
     payload_bytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RawData(_CarriesTrace):
     """Best-effort group data: one unreliable frame per member daemon."""
 
@@ -262,7 +266,7 @@ class RawData(_CarriesTrace):
 # View-change (flush) protocol payloads.
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushRequest:
     """Coordinator proposes a new daemon view; recipients must stop
     sending application data and report their per-group progress."""
@@ -272,7 +276,7 @@ class FlushRequest:
     members: Tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushAck:
     """A daemon's reply to FlushRequest.
 
@@ -288,7 +292,7 @@ class FlushAck:
     next_seqs: Dict[str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewInstall:
     """Coordinator finalizes the view change.
 

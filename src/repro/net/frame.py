@@ -18,7 +18,7 @@ from repro.errors import NetworkError
 FRAME_OVERHEAD_BYTES = 54
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Endpoint:
     """A (host, port) network address."""
 
@@ -29,7 +29,7 @@ class Endpoint:
         return f"{self.host}:{self.port}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """One frame on the wire.
 

@@ -37,23 +37,29 @@ class EventHandle:
     already-cancelled event is a harmless no-op).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., None], args: tuple):
+                 callback: Callable[..., None], args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing."""
+        if self.cancelled or self.callback is _fired:
+            return
         self.cancelled = True
         # Drop references eagerly so cancelled timers do not pin large
         # payloads in the heap until their scheduled time.
         self.callback = _noop
         self.args = ()
+        if self.sim is not None:
+            self.sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -167,6 +173,14 @@ class NullJournal:
 NULL_JOURNAL = NullJournal()
 
 
+#: Heap compaction trigger: once at least this many cancelled entries
+#: sit in the heap *and* they outnumber the live ones, the heap is
+#: rebuilt without them.  Timer-heavy protocols (failure detectors
+#: rearming on every heartbeat) otherwise let cancelled timers
+#: dominate the heap and tax every push/pop with dead weight.
+COMPACT_MIN_CANCELLED = 512
+
+
 class Simulator:
     """Event-heap simulator with a microsecond clock.
 
@@ -201,6 +215,12 @@ class Simulator:
         self._pids = itertools.count(1)
         self._running = False
         self._events_dispatched = 0
+        # Live bookkeeping: pending (scheduled, neither fired nor
+        # cancelled) and cancelled-but-still-heaped counts, so
+        # ``pending_events`` is O(1) and compaction knows when the
+        # heap is mostly dead weight.
+        self._pending = 0
+        self._cancelled = 0
 
     def allocate_pid(self) -> int:
         """Next process id.  Per-simulator (not interpreter-global) so
@@ -227,9 +247,51 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self.now}")
         if not callable(callback):
             raise SimulationError(f"callback is not callable: {callback!r}")
-        handle = EventHandle(time, next(self._seq), callback, args)
+        handle = EventHandle(time, next(self._seq), callback, args, self)
         heapq.heappush(self._heap, handle)
+        self._pending += 1
         return handle
+
+    def schedule_fast(self, delay: float, callback: Callable[..., None],
+                      *args: Any) -> EventHandle:
+        """Hot-path twin of :meth:`schedule` that skips validation.
+
+        For internal callers (network transmission, CPU completion,
+        link timers, local IPC) whose delays come from validated
+        calibrations and are provably non-negative.  Scheduling order,
+        tie-breaking and the resulting event time are bit-identical to
+        :meth:`schedule` — only the redundant checks are gone.
+        """
+        handle = EventHandle(self.now + delay, next(self._seq),
+                             callback, args, self)
+        heapq.heappush(self._heap, handle)
+        self._pending += 1
+        return handle
+
+    def schedule_at_fast(self, time: float, callback: Callable[..., None],
+                         *args: Any) -> EventHandle:
+        """Hot-path twin of :meth:`schedule_at` (see
+        :meth:`schedule_fast`); ``time`` must be ``>= now``."""
+        handle = EventHandle(time, next(self._seq), callback, args, self)
+        heapq.heappush(self._heap, handle)
+        self._pending += 1
+        return handle
+
+    def _note_cancelled(self) -> None:
+        """A pending handle was cancelled: update the live counters
+        and compact the heap when cancelled entries dominate it."""
+        self._pending -= 1
+        cancelled = self._cancelled + 1
+        self._cancelled = cancelled
+        heap = self._heap
+        if cancelled >= COMPACT_MIN_CANCELLED and 2 * cancelled > len(heap):
+            # Rebuild in place (run() holds an alias to the list) with
+            # only live handles.  heapify restores the invariant; the
+            # dispatch order is unchanged because the (time, seq)
+            # ordering is total.
+            heap[:] = [h for h in heap if not h.cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -239,9 +301,11 @@ class Simulator:
 
         Returns False when the event queue is exhausted.
         """
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
             if handle.time < self.now:
                 raise SimulationError(
@@ -250,6 +314,7 @@ class Simulator:
             callback, args = handle.callback, handle.args
             handle.callback = _fired
             handle.args = ()
+            self._pending -= 1
             self._events_dispatched += 1
             callback(*args)
             return True
@@ -267,19 +332,37 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
+        # The dispatch loop is the simulator's hottest code: locals are
+        # hoisted and the single-event :meth:`step` is inlined so one
+        # event costs one heap pop plus the callback.
+        heap = self._heap
+        pop = heapq.heappop
+        limitless = max_events is None
         dispatched = 0
         try:
-            while self._heap:
-                head = self._heap[0]
+            while heap:
+                # The budget check runs before *any* pop so a cancelled
+                # head can neither consume budget nor be consumed past
+                # it (a popped-cancelled head previously slipped
+                # through without re-checking ``max_events``).
+                if not limitless and dispatched >= max_events:
+                    break
+                head = heap[0]
                 if head.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    self._cancelled -= 1
                     continue
                 if head.time > until:
                     break
-                if max_events is not None and dispatched >= max_events:
-                    break
-                self.step()
+                pop(heap)
+                self.now = head.time
+                callback, args = head.callback, head.args
+                head.callback = _fired
+                head.args = ()
+                self._pending -= 1
+                self._events_dispatched += 1
                 dispatched += 1
+                callback(*args)
         finally:
             self._running = False
         if until is not math.inf and until > self.now:
@@ -295,8 +378,10 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1):
+        maintained live on schedule/cancel/dispatch rather than by
+        scanning the heap)."""
+        return self._pending
 
     @property
     def events_dispatched(self) -> int:

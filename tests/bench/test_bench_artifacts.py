@@ -1,0 +1,57 @@
+"""The bench harness: canonical artifacts and the quick suite."""
+
+import json
+
+from repro.bench import (
+    PROFILE_NAMES,
+    BenchReport,
+    artifact_path,
+    read_artifact,
+    run_profile,
+    write_artifact,
+)
+
+
+def test_suite_has_at_least_three_profiles():
+    assert len(PROFILE_NAMES) >= 3
+    assert "kernel_events" in PROFILE_NAMES
+
+
+def test_artifact_is_canonical_sorted_json(tmp_path):
+    report = BenchReport(profile="demo", quick=True,
+                         parameters={"b": 2, "a": 1},
+                         metrics={"zz": 1.23456, "aa": 2.0})
+    path = write_artifact(report, str(tmp_path))
+    assert path == artifact_path(str(tmp_path), "demo")
+    text = open(path).read()
+    # Canonical form: sorted keys, trailing newline, stable rounding.
+    assert text == json.dumps(json.loads(text), sort_keys=True,
+                              indent=2) + "\n"
+    loaded = read_artifact(path)
+    assert loaded["profile"] == "demo"
+    assert loaded["metrics"] == {"zz": 1.235, "aa": 2.0}
+
+
+def test_kernel_events_quick_profile_reports_speedup(tmp_path):
+    report = run_profile("kernel_events", quick=True)
+    assert report.quick
+    for key in ("events_per_sec", "speedup_vs_reference",
+                "chain_events_per_sec", "churn_events_per_sec",
+                "peak_rss_kb", "wall_s"):
+        assert key in report.metrics, key
+    assert report.metrics["events_per_sec"] > 0
+    # The optimized kernel must not be slower than the naive one; the
+    # release criterion (>= 1.5x) is asserted on the full-size run,
+    # not in CI where machines vary.
+    assert report.metrics["speedup_vs_reference"] > 1.0
+    write_artifact(report, str(tmp_path))
+    assert read_artifact(artifact_path(str(tmp_path), "kernel_events"))
+
+
+def test_rtt_quick_profile_measures_both_styles():
+    report = run_profile("rtt", quick=True)
+    metrics = report.metrics
+    assert metrics["active_latency_mean_us"] > 0
+    assert metrics["warm_passive_latency_mean_us"] > 0
+    assert metrics["sim_us_per_wall_ms"] > 0
+    assert metrics["events_per_sec"] > 0

@@ -213,3 +213,123 @@ def test_repr_mentions_time_and_pending():
     sim.schedule(1.0, lambda: None)
     text = repr(sim)
     assert "pending=1" in text and "seed=3" in text
+
+
+def test_pending_counter_tracks_dispatch_and_cancel():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+    assert sim.pending_events == 6
+    handles[0].cancel()
+    handles[1].cancel()
+    handles[1].cancel()  # double cancel must not double-decrement
+    assert sim.pending_events == 4
+    sim.run(until=4.0)   # dispatches events at t=3 and t=4
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_counter():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.0)
+    handle.cancel()  # already fired: must be a true no-op
+    assert sim.pending_events == 1
+
+
+def test_max_events_not_consumed_by_cancelled_head():
+    """A cancelled head popped by run() must not count toward
+    max_events, and the budget is re-checked before every pop."""
+    sim = Simulator()
+    fired = []
+    doomed = sim.schedule(1.0, fired.append, "doomed")
+    sim.schedule(2.0, fired.append, "a")
+    sim.schedule(3.0, fired.append, "b")
+    doomed.cancel()
+    sim.run(max_events=2)
+    assert fired == ["a", "b"]
+
+
+def test_max_events_zero_dispatches_nothing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.schedule(2.0, fired.append, "y")
+    sim.run(max_events=0)
+    assert fired == []
+    assert sim.now == 0.0
+
+
+def test_schedule_fast_matches_schedule_semantics():
+    def drive(fast):
+        sim = Simulator(seed=11)
+        out = []
+
+        def tick(n):
+            out.append((sim.now, n, sim.rng.random()))
+            if n:
+                delay = sim.rng.uniform(0.5, 4.0)
+                if fast:
+                    sim.schedule_fast(delay, tick, n - 1)
+                else:
+                    sim.schedule(delay, tick, n - 1)
+
+        (sim.schedule_fast if fast else sim.schedule)(1.0, tick, 30)
+        sim.run()
+        return out
+
+    assert drive(fast=True) == drive(fast=False)
+
+
+def test_schedule_at_fast_matches_schedule_at():
+    sim_a, sim_b = Simulator(), Simulator()
+    out_a, out_b = [], []
+    for t in (5.0, 1.0, 3.0, 1.0):
+        sim_a.schedule_at(t, lambda t=t: out_a.append((sim_a.now, t)))
+        sim_b.schedule_at_fast(t, lambda t=t: out_b.append((sim_b.now, t)))
+    sim_a.run()
+    sim_b.run()
+    assert out_a == out_b
+
+
+def test_heap_compaction_preserves_dispatch_order():
+    from repro.sim.kernel import COMPACT_MIN_CANCELLED
+
+    sim = Simulator()
+    fired = []
+    survivors = []
+    doomed = []
+    for i in range(2 * COMPACT_MIN_CANCELLED):
+        handle = sim.schedule(float(i + 1), fired.append, i)
+        (survivors if i % 8 == 0 else doomed).append((i, handle))
+    for _, handle in doomed:
+        handle.cancel()
+    # Compaction has kicked in at least once: the heap is strictly
+    # smaller than the number of events ever scheduled.
+    assert len(sim._heap) < 2 * COMPACT_MIN_CANCELLED
+    assert sim.pending_events == len(survivors)
+    sim.run()
+    assert fired == [i for i, _ in survivors]
+
+
+def test_compaction_during_run_is_safe():
+    """Mass-cancelling from inside a callback triggers compaction
+    while run() iterates; dispatch must continue correctly."""
+    from repro.sim.kernel import COMPACT_MIN_CANCELLED
+
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(float(i + 10), fired.append, i)
+               for i in range(2 * COMPACT_MIN_CANCELLED)]
+
+    def massacre():
+        for handle in handles[:-1]:
+            handle.cancel()
+
+    sim.schedule(1.0, massacre)
+    sim.schedule(5.0, fired.append, "mid")
+    sim.run()
+    assert fired == ["mid", len(handles) - 1]
+    assert sim.pending_events == 0
