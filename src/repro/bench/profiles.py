@@ -1,6 +1,6 @@
 """The fixed bench suite: calibrated performance profiles.
 
-Three profiles, each reporting wall-clock-grounded throughput numbers
+Four profiles, each reporting wall-clock-grounded throughput numbers
 plus peak RSS:
 
 - ``kernel_events`` — pure event-loop throughput: an event-chain
@@ -12,7 +12,9 @@ plus peak RSS:
   replication over the full GCS/ORB stack), reporting events/sec and
   simulated-µs per wall-ms;
 - ``campaign`` — a small fault-injection campaign through the
-  persistent worker pool, reporting trials/sec.
+  persistent worker pool, reporting trials/sec;
+- ``check`` — the ``repro.check`` canonical scenario with and without
+  verification, reporting the schedule-exploration overhead ratio.
 
 ``quick=True`` shrinks every workload to CI-smoke size (seconds, not
 minutes); the metric *names* are identical either way so baselines
@@ -198,10 +200,66 @@ def _campaign(quick: bool) -> BenchReport:
         metrics=metrics)
 
 
+# ---------------------------------------------------------------------------
+# check: schedule-exploration overhead
+# ---------------------------------------------------------------------------
+
+def _check(quick: bool) -> BenchReport:
+    """The ``repro.check`` canonical scenario, plain vs. verified.
+
+    The *baseline* loop runs the scenario under the kernel's native
+    ordering with no history capture; the *checked* loop runs it the
+    way ``python -m repro check --explore`` does — random-walk policy,
+    history recording, linearizability + invariant verification — so
+    ``check_overhead_ratio`` is the price of one verified schedule.
+    """
+    from repro.check import RandomWalkPolicy, canonical_scenario, run_schedule
+    from repro.check.explorer import verify_outcome
+
+    n_schedules = 8 if quick else 40
+    scenario = canonical_scenario()
+
+    def baseline_loop() -> int:
+        events = 0
+        for _ in range(n_schedules):
+            events += run_schedule(scenario).events_dispatched
+        return events
+
+    def checked_loop() -> int:
+        events = 0
+        for i in range(n_schedules):
+            outcome = run_schedule(
+                scenario, RandomWalkPolicy(seed=i, tie_choices=4,
+                                           delay_bound_us=150.0))
+            if verify_outcome(outcome):
+                raise AssertionError("bench scenario must verify clean")
+            events += outcome.events_dispatched
+        return events
+
+    base_events, base_wall = _timed(baseline_loop)
+    checked_events, checked_wall = _timed(checked_loop)
+    base_rate = base_events / max(base_wall, 1e-9)
+    checked_rate = checked_events / max(checked_wall, 1e-9)
+    metrics = {
+        "events_per_sec": checked_rate,
+        "baseline_events_per_sec": base_rate,
+        "check_overhead_ratio": base_rate / max(checked_rate, 1e-9),
+        "schedules_per_sec": n_schedules / max(checked_wall, 1e-9),
+        "wall_s": base_wall + checked_wall,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return BenchReport(
+        profile="check", quick=quick,
+        parameters={"n_schedules": n_schedules, "tie_choices": 4,
+                    "delay_bound_us": 150.0},
+        metrics=metrics)
+
+
 _PROFILES: Dict[str, Callable[[bool], BenchReport]] = {
     "kernel_events": _kernel_events,
     "rtt": _rtt,
     "campaign": _campaign,
+    "check": _check,
 }
 
 #: Names of the fixed suite, in run order.

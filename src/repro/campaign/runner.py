@@ -47,7 +47,8 @@ ProgressFn = Callable[[int, int, Optional[TrialRecord]], None]
 
 def execute_trial(trial: TrialSpec,
                   telemetry: bool = False,
-                  journal_dir: Optional[str] = None) -> TrialRecord:
+                  journal_dir: Optional[str] = None,
+                  check: bool = False) -> TrialRecord:
     """Run one trial in the current process and build its record.
 
     ``telemetry=True`` records spans during the trial and attaches the
@@ -56,7 +57,9 @@ def execute_trial(trial: TrialSpec,
     ``journal_dir`` set, the trial runs with the dependability journal
     on, writes ``<journal_dir>/<trial_id>.journal.jsonl`` and attaches
     the journal digest (availability, MTTR, fault matching) to the
-    record's metrics.
+    record's metrics.  ``check=True`` verifies the trial's operation
+    history and protocol invariants (:mod:`repro.check`) and attaches
+    the verdict.
     """
     from repro.experiments.trial import run_fault_trial  # lazy: keeps
     # campaign importable without dragging the full stack in at startup
@@ -69,7 +72,8 @@ def execute_trial(trial: TrialSpec,
         checkpoint_interval=trial.checkpoint_interval,
         deadline_us=trial.deadline_us, settle_us=trial.settle_us,
         inject=lambda ctx: compile_load(trial.fault_load, ctx),
-        telemetry=telemetry, journal=journal_dir is not None)
+        telemetry=telemetry, journal=journal_dir is not None,
+        check=check)
     if journal_dir is not None and result.journal_events is not None:
         from repro.journal.io import write_jsonl
         os.makedirs(journal_dir, exist_ok=True)
@@ -87,7 +91,8 @@ def _failure_record(trial: TrialSpec, status: str,
 
 
 def _pool_worker(conn, telemetry: bool = False,
-                 journal_dir: Optional[str] = None) -> None:
+                 journal_dir: Optional[str] = None,
+                 check: bool = False) -> None:
     """Persistent worker-process loop: run chunks of trials until told
     to stop.
 
@@ -111,7 +116,8 @@ def _pool_worker(conn, telemetry: bool = False,
                 trial = TrialSpec.from_dict(trial_dict)
                 try:
                     record = execute_trial(trial, telemetry=telemetry,
-                                           journal_dir=journal_dir)
+                                           journal_dir=journal_dir,
+                                           check=check)
                     conn.send(("done", index, "ok", record.to_line()))
                 except BaseException:  # noqa: BLE001 - isolation is the point
                     conn.send(("done", index, "error",
@@ -169,7 +175,8 @@ class CampaignRunner:
                  trial_timeout_s: float = DEFAULT_TRIAL_TIMEOUT_S,
                  progress: Optional[ProgressFn] = None,
                  telemetry: bool = False,
-                 journal_dir: Optional[str] = None):
+                 journal_dir: Optional[str] = None,
+                 check: bool = False):
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if trial_timeout_s <= 0:
@@ -181,6 +188,7 @@ class CampaignRunner:
         self.progress = progress
         self.telemetry = telemetry
         self.journal_dir = journal_dir
+        self.check = check
 
     def run(self) -> CampaignSummary:
         """Run every not-yet-completed trial; returns the summary."""
@@ -211,7 +219,8 @@ class CampaignRunner:
         for _, trial in todo:
             try:
                 record = execute_trial(trial, telemetry=self.telemetry,
-                                       journal_dir=self.journal_dir)
+                                       journal_dir=self.journal_dir,
+                                       check=self.check)
             except Exception:  # crash isolation, in-process flavour
                 record = _failure_record(
                     trial, "failed", traceback.format_exc(limit=20))
@@ -283,7 +292,7 @@ class CampaignRunner:
         parent, child = ctx.Pipe(duplex=True)
         process = ctx.Process(
             target=_pool_worker,
-            args=(child, self.telemetry, self.journal_dir),
+            args=(child, self.telemetry, self.journal_dir, self.check),
             daemon=True)
         process.start()
         child.close()
@@ -395,9 +404,10 @@ def run_campaign(spec: CampaignSpec, store: ResultsStore,
                  trial_timeout_s: float = DEFAULT_TRIAL_TIMEOUT_S,
                  progress: Optional[ProgressFn] = None,
                  telemetry: bool = False,
-                 journal_dir: Optional[str] = None) -> CampaignSummary:
+                 journal_dir: Optional[str] = None,
+                 check: bool = False) -> CampaignSummary:
     """Convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(spec, store, workers=workers,
                           trial_timeout_s=trial_timeout_s,
                           progress=progress, telemetry=telemetry,
-                          journal_dir=journal_dir).run()
+                          journal_dir=journal_dir, check=check).run()

@@ -1,0 +1,58 @@
+"""Plain-text rendering of exploration and replay results.
+
+The CLI prints these; they are deliberately terse, stable-ordered and
+free of timestamps so smoke-job logs diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.check.explorer import ExplorationResult, ScheduleReport
+from repro.check.invariants import Violation
+
+
+def _render_violations(violations: List[Violation],
+                       indent: str = "  ") -> List[str]:
+    lines = []
+    for v in violations:
+        stamp = "" if v.time_us is None else f" @ {v.time_us:.0f}us"
+        lines.append(f"{indent}[{v.invariant}]{stamp} {v.message}")
+    return lines
+
+
+def render_outcome(report: ScheduleReport) -> str:
+    """One explored/replayed schedule as a short text block."""
+    lines = [
+        f"schedule walk_seed={report.walk_seed} "
+        f"digest={report.digest[:16]}"
+        + ("" if report.fresh else " (revisit)"),
+    ]
+    if report.scenario.mutation:
+        lines.append(f"  mutation: {report.scenario.mutation}")
+    if report.ok:
+        lines.append("  ok: all invariants hold, history linearizable")
+    else:
+        lines.append(f"  VIOLATIONS ({len(report.violations)}):")
+        lines.extend(_render_violations(report.violations, indent="    "))
+    return "\n".join(lines)
+
+
+def render_exploration(result: ExplorationResult) -> str:
+    """Summarize one exploration run as a text report."""
+    lines = [
+        f"explored {result.schedules_run} schedules "
+        f"({result.distinct_schedules} distinct) "
+        f"of budget {result.budget}",
+    ]
+    if result.scenario.mutation:
+        lines.append(f"mutation under test: {result.scenario.mutation}")
+    violating = result.violating
+    if not violating:
+        lines.append("verdict: PASS — every schedule verified clean")
+    else:
+        lines.append(f"verdict: FAIL — {len(violating)} violating "
+                     f"schedule(s)")
+        for report in violating:
+            lines.append(render_outcome(report))
+    return "\n".join(lines)

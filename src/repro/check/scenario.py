@@ -1,0 +1,229 @@
+"""The canonical crash/switch scenario and seedable protocol mutations.
+
+One *schedule* is one deterministic run of the canonical scenario
+under a scheduling policy: a warm-passive replicated counter with
+synchronous per-request checkpoints, a closed-loop increment workload,
+a mid-run Fig. 5 style switch initiated by a backup, an optional
+primary crash, and a final read once the dust settles.  The scenario
+is deliberately the shape under which the paper's strongest claims
+hold (synchronous checkpoints with interval 1 are what make "no lost
+acked updates" sound), so any violation the explorer finds is a real
+protocol bug, not a modelling artifact.
+
+``MUTATIONS`` holds deliberately broken protocol variants used to
+prove the checker's teeth: the seeded mutation must be *caught*
+within the default exploration budget (and the unmutated protocol
+must pass with zero false positives).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.check.history import HistoryRecorder, Operation
+from repro.errors import AdaptationError, VerificationError
+
+
+@dataclass(frozen=True)
+class CheckScenario:
+    """Parameters of one canonical-scenario run.
+
+    ``crash_primary_at_us``/``switch_at_us`` are offsets from the
+    start of the load window (``None`` disables the fault); the
+    ``mutation`` name selects an entry of :data:`MUTATIONS`.
+    """
+
+    n_replicas: int = 3
+    n_requests: int = 8
+    checkpoint_interval: int = 1
+    seed: int = 0
+    switch_at_us: Optional[float] = 40_000.0
+    crash_primary_at_us: Optional[float] = 90_000.0
+    horizon_us: float = 8_000_000.0
+    settle_us: float = 2_000_000.0
+    retry_timeout_us: float = 120_000.0
+    mutation: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready parameter dict (for repro artifacts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CheckScenario":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+def canonical_scenario(seed: int = 0,
+                       mutation: Optional[str] = None) -> CheckScenario:
+    """The default crash/switch scenario the CI smoke job explores."""
+    return CheckScenario(seed=seed, mutation=mutation)
+
+
+@dataclass
+class ScheduleOutcome:
+    """Everything one schedule run produced, ready for checking."""
+
+    scenario: CheckScenario
+    operations: Tuple[Operation, ...]
+    journal_events: List[Any]
+    survivor_values: List[int]
+    digest: str
+    giveups: int
+    events_dispatched: int = 0
+
+    @property
+    def truncated_rings(self) -> Dict[str, int]:
+        """Per-host flight-recorder truncation counts found in the
+        journal (non-empty means the evidence is incomplete)."""
+        out: Dict[str, int] = {}
+        for event in self.journal_events:
+            if event.kind == "journal.truncated":
+                out[event.host] = int(event.attrs.get("dropped", 0))
+        return out
+
+
+def _mutate_skip_final_checkpoint(replicas) -> None:
+    """Fig. 5 case 1 sabotage: the passive primary skips the "one more
+    checkpoint" and jumps straight to step III.  Backups never see the
+    final checkpoint, so they stay wedged in the PREPARING phase (and,
+    if the primary later crashes, roll back from stale state)."""
+    for replica in replicas:
+        replicator = replica.replicator
+        original = replicator._checkpoint
+
+        def patched(final_for=None, sync_for=None,
+                    _original=original, _replicator=replicator):
+            if final_for is not None:
+                _replicator._complete_switch()
+                return
+            _original(final_for=final_for, sync_for=sync_for)
+
+        replicator._checkpoint = patched
+
+
+def _mutate_forget_seen_cache(replicas) -> None:
+    """Failover sabotage: a replica restoring from a checkpoint drops
+    the duplicate-suppression entries it carries, so a post-failover
+    retry of an already-acknowledged request re-executes it
+    (double-apply — the bug class the ``seen`` field exists to fix)."""
+    for replica in replicas:
+        replicator = replica.replicator
+        original = replicator._receive_checkpoint
+
+        def patched(ckpt, _original=original):
+            _original(replace(ckpt, seen=()))
+
+        replicator._receive_checkpoint = patched
+
+
+#: Named protocol mutations for checker self-tests: name -> function
+#: applied to the deployed replica list before the load starts.
+MUTATIONS: Dict[str, Callable[[Any], None]] = {
+    "skip_final_checkpoint": _mutate_skip_final_checkpoint,
+    "forget_seen_cache": _mutate_forget_seen_cache,
+}
+
+
+def run_schedule(scenario: CheckScenario,
+                 policy: Optional[Any] = None) -> ScheduleOutcome:
+    """Run one deterministic schedule of the canonical scenario.
+
+    ``policy`` (a :mod:`repro.check.policies` object, or ``None`` for
+    the kernel's native ordering) perturbs tie-breaks and message
+    delays; everything else — workload, faults, horizon — comes from
+    the scenario parameters, so (scenario, policy decisions) fully
+    identify the schedule.
+    """
+    from repro.experiments import (
+        Testbed,
+        deploy_client,
+        deploy_replica_group,
+    )
+    from repro.journal.io import events_to_jsonl
+    from repro.orb import CounterServant
+    from repro.replication import (
+        ClientReplicationConfig,
+        ReplicationConfig,
+        ReplicationStyle,
+    )
+    from repro.sim import default_calibration
+
+    if scenario.mutation is not None \
+            and scenario.mutation not in MUTATIONS:
+        raise VerificationError(
+            f"unknown mutation {scenario.mutation!r}; "
+            f"known: {sorted(MUTATIONS)}")
+
+    calibration = default_calibration()
+    calibration = replace(
+        calibration, journal=replace(calibration.journal, enabled=True))
+    testbed = Testbed.paper_testbed(
+        scenario.n_replicas, 1, seed=scenario.seed,
+        calibration=calibration, scheduler_policy=policy)
+    history = HistoryRecorder()
+    testbed.sim.history = history
+
+    style = ReplicationStyle.WARM_PASSIVE
+    config = ReplicationConfig(
+        style=style, group="svc",
+        checkpoint_interval_requests=scenario.checkpoint_interval)
+    hosts = [f"s{i:02d}" for i in range(1, scenario.n_replicas + 1)]
+    replicas = deploy_replica_group(testbed, hosts, config,
+                                    {"counter": CounterServant})
+    if scenario.mutation is not None:
+        MUTATIONS[scenario.mutation](replicas)
+    client = deploy_client(testbed, "w01", ClientReplicationConfig(
+        group="svc", expected_style=style,
+        retry_timeout_us=scenario.retry_timeout_us))
+    testbed.run(150_000)
+
+    start = testbed.now
+
+    def next_request(remaining: int) -> None:
+        if remaining == 0:
+            return
+        client.orb_client.invoke(
+            "counter", "add", 1, 32,
+            lambda _reply: next_request(remaining - 1))
+
+    if scenario.switch_at_us is not None:
+        initiator = replicas[-1]
+
+        def fire_switch() -> None:
+            if not initiator.alive:
+                return
+            try:
+                initiator.replicator.request_switch(ReplicationStyle.ACTIVE)
+            except AdaptationError:
+                pass  # already there (e.g. a rollback raced the timer)
+
+        testbed.sim.schedule_at(start + scenario.switch_at_us, fire_switch)
+    if scenario.crash_primary_at_us is not None:
+        testbed.sim.schedule_at(start + scenario.crash_primary_at_us,
+                                replicas[0].process.kill, "injected")
+    next_request(scenario.n_requests)
+    testbed.run(scenario.horizon_us)
+
+    # The closing read: observed through the same history capture, it
+    # forces the final state onto the client-visible record.
+    client.orb_client.invoke("counter", "read", 0, 32, lambda _reply: None)
+    testbed.run(scenario.settle_us)
+
+    survivor_values = [r.servants["counter"].value
+                       for r in replicas if r.alive]
+    journal_events = list(testbed.sim.journal.events)
+    hasher = hashlib.sha256()
+    hasher.update(events_to_jsonl(journal_events).encode())
+    hasher.update(history.serialize().encode())
+    hasher.update(repr(sorted(survivor_values)).encode())
+    return ScheduleOutcome(
+        scenario=scenario,
+        operations=history.operations,
+        journal_events=journal_events,
+        survivor_values=survivor_values,
+        digest=hasher.hexdigest(),
+        giveups=client.replicator.failures,
+        events_dispatched=testbed.sim.events_dispatched)

@@ -11,6 +11,8 @@
 - ``trace``     — record a traced run; export spans/metrics
 - ``observe``   — render a dependability journal (timeline/summary/HTML)
 - ``bench``     — run the performance suite; write BENCH_*.json artifacts
+- ``check``     — explore schedule space; verify linearizability and
+  protocol invariants; replay/minimize repro artifacts
 """
 
 from __future__ import annotations
@@ -146,7 +148,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                trial_timeout_s=args.trial_timeout,
                                progress=progress,
                                telemetry=args.telemetry,
-                               journal_dir=args.journal)
+                               journal_dir=args.journal,
+                               check=args.check)
     except ConfigurationError as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
@@ -158,6 +161,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if not records:
         print("no successful trials recorded; nothing to score")
         return 1
+    check_failures = [r for r in records
+                      if args.check
+                      and not r.metrics.get("check", {}).get("ok", True)]
+    for record in check_failures:
+        verdict = record.metrics["check"]
+        print(f"CHECK FAILED {record.trial_id}: "
+              f"{len(verdict.get('violations', []))} violation(s), "
+              f"linearizable={verdict.get('linearizable')}",
+              file=sys.stderr)
     scores = aggregate_scores(records)
     print()
     print(render_scores(scores))
@@ -171,7 +183,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         with open(args.markdown, "w") as handle:
             write_markdown(spec, scores, out=handle)
         print(f"wrote {args.markdown}")
-    return 0 if summary.failed == 0 else 1
+    return 0 if summary.failed == 0 and not check_failures else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -230,11 +242,108 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Explore schedule space; replay or minimize repro artifacts."""
+    from repro.check import (
+        MUTATIONS,
+        canonical_scenario,
+        explore,
+        load_artifact,
+        minimize,
+        render_exploration,
+        write_artifact,
+    )
+    from repro.check import replay as replay_artifact
+    from repro.check.artifact import artifact_from_report
+    from repro.errors import VerificationError
+
+    if args.budget < 1:
+        print("check: --budget must be >= 1", file=sys.stderr)
+        return 2
+    if args.tie_choices < 1:
+        print("check: --tie-choices must be >= 1", file=sys.stderr)
+        return 2
+    if args.delay_bound < 0:
+        print("check: --delay-bound must be >= 0", file=sys.stderr)
+        return 2
+    if args.mutation is not None and args.mutation not in MUTATIONS:
+        print(f"check: unknown --mutation {args.mutation!r} "
+              f"(known: {', '.join(sorted(MUTATIONS))})", file=sys.stderr)
+        return 2
+
+    if args.replay or args.minimize:
+        path = args.replay or args.minimize
+        try:
+            artifact = load_artifact(path)
+        except (OSError, VerificationError) as exc:
+            print(f"check: cannot load artifact {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.minimize:
+            artifact = minimize(artifact)
+            out = args.artifact or path
+            _write_check_artifact(artifact, out, write_artifact)
+            print(f"minimized to {artifact.scenario.n_requests} "
+                  f"request(s), horizon "
+                  f"{artifact.scenario.horizon_us / 1e6:.1f} s, "
+                  f"{len(artifact.decisions)} decision(s)")
+            print(f"wrote {out}")
+        try:
+            result = replay_artifact(artifact)
+        except VerificationError as exc:
+            print(f"check: replay drifted off the recorded decision "
+                  f"trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"replay digest {result.digest[:16]} "
+              f"{'==' if result.identical else '!='} recorded "
+              f"{result.expected_digest[:16]}")
+        for violation in result.violations:
+            print(f"  [{violation.invariant}] {violation.message}")
+        if result.reproduced:
+            print("verdict: REPRODUCED — byte-identical replay, "
+                  "violations reappear")
+            return 0
+        print("verdict: NOT REPRODUCED")
+        return 1
+
+    # Explore mode (the default).
+    scenario = canonical_scenario(seed=args.seed, mutation=args.mutation)
+    result = explore(scenario, budget=args.budget,
+                     base_walk_seed=args.walk_seed,
+                     tie_choices=args.tie_choices,
+                     delay_bound_us=args.delay_bound,
+                     stop_on_violation=not args.keep_going)
+    print(render_exploration(result))
+    violating = result.violating
+    if not violating:
+        return 0
+    artifact = artifact_from_report(violating[0], args.tie_choices,
+                                    args.delay_bound)
+    artifact = minimize(artifact)
+    out = args.artifact or "repro_violation.json"
+    _write_check_artifact(artifact, out, write_artifact)
+    print(f"wrote minimized repro artifact {out} "
+          f"(replay with: python -m repro check --replay {out})")
+    return 1
+
+
+def _write_check_artifact(artifact, out: str, write_artifact) -> None:
+    """Write a repro artifact, creating its parent directory."""
+    import os
+    parent = os.path.dirname(out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    write_artifact(artifact, out)
+
+
 def _cmd_observe(args: argparse.Namespace) -> int:
     """Render a dependability journal captured as JSONL."""
     from repro.journal import read_jsonl
     from repro.tools import journal_html, journal_summary, render_journal
 
+    if args.limit is not None and args.limit < 1:
+        print("observe: --limit must be >= 1", file=sys.stderr)
+        return 2
     try:
         events = read_jsonl(args.journal)
     except (OSError, ValueError) as exc:
@@ -259,8 +368,14 @@ def _cmd_observe(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the calibrated performance suite and write artifacts."""
+    import os
+
     from repro.bench import PROFILE_NAMES, run_profile, write_artifact
 
+    if not os.path.isdir(args.out_dir):
+        print(f"bench: --out-dir {args.out_dir!r} is not a directory",
+              file=sys.stderr)
+        return 2
     names = tuple(args.profile) if args.profile else PROFILE_NAMES
     mode = "quick" if args.quick else "full"
     print(f"bench ({mode}): {', '.join(names)}")
@@ -383,6 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
                                       "journal as DIR/<trial>.journal.jsonl "
                                       "and attach journal digests to the "
                                       "records")
+    campaign_parser.add_argument("--check", action="store_true",
+                                 help="verify each trial's operation "
+                                      "history (linearizability) and "
+                                      "protocol invariants; attach the "
+                                      "verdict to the records and fail "
+                                      "the campaign on violations")
 
     trace_parser = sub.add_parser(
         "trace", help="record a traced run and export spans/metrics")
@@ -431,9 +552,44 @@ def build_parser() -> argparse.ArgumentParser:
                               help="directory for BENCH_*.json "
                                    "artifacts (default: cwd)")
     bench_parser.add_argument("--profile", action="append",
-                              choices=["kernel_events", "rtt", "campaign"],
+                              choices=["kernel_events", "rtt", "campaign",
+                                       "check"],
                               help="run only this profile (repeatable; "
                                    "default: all)")
+
+    check_parser = sub.add_parser(
+        "check", help="explore schedule space and verify "
+                      "linearizability + protocol invariants; "
+                      "replay/minimize repro artifacts")
+    mode = check_parser.add_mutually_exclusive_group()
+    mode.add_argument("--explore", action="store_true",
+                      help="explore schedules of the canonical "
+                           "crash/switch scenario (the default mode)")
+    mode.add_argument("--replay", metavar="ARTIFACT",
+                      help="replay a repro artifact byte-identically "
+                           "and re-verify its violations")
+    mode.add_argument("--minimize", metavar="ARTIFACT",
+                      help="greedily shrink a repro artifact while it "
+                           "still fails, then replay it")
+    check_parser.add_argument("--budget", type=int, default=200,
+                              help="schedules to explore (default 200)")
+    check_parser.add_argument("--walk-seed", type=int, default=0,
+                              help="base random-walk seed (default 0)")
+    check_parser.add_argument("--tie-choices", type=int, default=4,
+                              help="tie-break fan-out per scheduling "
+                                   "decision (default 4)")
+    check_parser.add_argument("--delay-bound", type=float, default=150.0,
+                              help="extra per-message delay bound [us] "
+                                   "(default 150)")
+    check_parser.add_argument("--mutation",
+                              help="seed a named protocol mutation "
+                                   "(checker self-test)")
+    check_parser.add_argument("--keep-going", action="store_true",
+                              help="explore the full budget instead of "
+                                   "stopping at the first violation")
+    check_parser.add_argument("--artifact", metavar="PATH",
+                              help="where to write the repro artifact "
+                                   "(default repro_violation.json)")
 
     sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
     sub.add_parser("verify",
@@ -444,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "bench": _cmd_bench,
     "breakdown": _cmd_breakdown,
+    "check": _cmd_check,
     "profile": _cmd_profile,
     "policy": _cmd_policy,
     "adaptive": _cmd_adaptive,

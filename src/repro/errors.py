@@ -48,3 +48,13 @@ class PolicyError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid parameter value was supplied."""
+
+
+class VerificationError(ReproError):
+    """A schedule-exploration or replay step failed mechanically.
+
+    Raised by the ``repro.check`` subsystem when verification *cannot
+    run* (a replay trace drifts from the recorded decisions, an
+    artifact is corrupt) — never for a protocol violation, which is
+    reported as data, not raised.
+    """

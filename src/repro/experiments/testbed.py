@@ -42,12 +42,17 @@ class Testbed:
     __test__ = False  # not a pytest test class despite the name
 
     def __init__(self, host_names: Sequence[str], seed: int = 0,
-                 calibration: Optional[SubstrateCalibration] = None):
+                 calibration: Optional[SubstrateCalibration] = None,
+                 scheduler_policy: Optional[object] = None):
         if not host_names:
             raise ConfigurationError("a testbed needs at least one host")
         self.calibration = calibration or default_calibration()
         self.calibration.validate()
         self.sim = Simulator(seed=seed)
+        if scheduler_policy is not None:
+            # Must happen before daemons schedule their first timers:
+            # the policy rewrites the kernel's tie-break sequence.
+            self.sim.set_scheduler_policy(scheduler_policy)
         if self.calibration.telemetry.enabled:
             from repro.telemetry.spans import Telemetry
             self.sim.telemetry = Telemetry(
@@ -75,13 +80,15 @@ class Testbed:
     @staticmethod
     def paper_testbed(n_server_hosts: int = 3, n_client_hosts: int = 5,
                       seed: int = 0,
-                      calibration: Optional[SubstrateCalibration] = None
+                      calibration: Optional[SubstrateCalibration] = None,
+                      scheduler_policy: Optional[object] = None
                       ) -> "Testbed":
         """The paper's 7-8 machine layout: server hosts sort first so
         the sequencer daemon colocates with the first replica."""
         names = ([f"s{i:02d}" for i in range(1, n_server_hosts + 1)]
                  + [f"w{i:02d}" for i in range(1, n_client_hosts + 1)])
-        return Testbed(names, seed=seed, calibration=calibration)
+        return Testbed(names, seed=seed, calibration=calibration,
+                       scheduler_policy=scheduler_policy)
 
     # ------------------------------------------------------------------
     # Processes and connections

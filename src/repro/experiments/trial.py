@@ -117,6 +117,10 @@ class FaultTrialResult:
     #: The raw journal events of the run (for per-trial JSONL capture
     #: and the operator observatory); never serialized into metrics.
     journal_events: Optional[List[object]] = None
+    #: Consistency-verification verdict (``repro.check``) when the
+    #: trial ran with ``check=True``; None otherwise — same
+    #: byte-identical guarantee as telemetry/journal.
+    check: Optional[Dict[str, object]] = None
 
     @property
     def failed_fraction(self) -> float:
@@ -150,6 +154,8 @@ class FaultTrialResult:
                if self.telemetry is not None else {}),
             **({"journal": self.journal}
                if self.journal is not None else {}),
+            **({"check": self.check}
+               if self.check is not None else {}),
         }
 
 
@@ -167,7 +173,8 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
                     processing_us: float = DEFAULT_PROCESSING_US,
                     calibration: Optional[SubstrateCalibration] = None,
                     telemetry: bool = False,
-                    journal: bool = False) -> FaultTrialResult:
+                    journal: bool = False,
+                    check: bool = False) -> FaultTrialResult:
     """Run one open-loop load window with an optional fault load.
 
     ``inject`` receives a :class:`TrialContext` after warm-up and may
@@ -177,6 +184,10 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
     *failed*.  Availability is time-based: for every outage-kind fault
     the gap until the next completed request (capped at the window
     end) is downtime.
+
+    ``check=True`` records the client-observed operation history and
+    runs the :mod:`repro.check` verifiers over it and the journal
+    (which it forces on), attaching the verdict to the result.
     """
     if n_replicas < 1:
         raise ConfigurationError("trial needs at least one replica")
@@ -189,6 +200,8 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
     if deadline_us <= 0:
         raise ConfigurationError("deadline must be positive")
 
+    if check:
+        journal = True  # the invariant monitors read journal events
     if telemetry or journal:
         from dataclasses import replace
         from repro.sim import default_calibration
@@ -203,6 +216,11 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
                 journal=replace(calibration.journal, enabled=True))
     testbed = Testbed.paper_testbed(n_replicas, max(n_clients, 1),
                                     seed=seed, calibration=calibration)
+    history = None
+    if check:
+        from repro.check import HistoryRecorder
+        history = HistoryRecorder()
+        testbed.sim.history = history
     config = ReplicationConfig(
         style=style, group="svc",
         checkpoint_interval_requests=checkpoint_interval)
@@ -277,6 +295,28 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
                                          window_start_us=start,
                                          window_end_us=window_end)
 
+    check_digest = None
+    if check:
+        assert history is not None and journal_events is not None
+        from repro.check import (
+            IncrementSpec,
+            check_invariants,
+            check_linearizability,
+        )
+        bench_ops = tuple(op for op in history.operations
+                          if op.object_key == "bench")
+        violations = list(check_invariants(journal_events))
+        lin = check_linearizability(bench_ops, IncrementSpec())
+        check_digest = {
+            "ok": bool(lin.ok and not violations),
+            "operations": len(bench_ops),
+            "violations": [v.to_dict() for v in violations],
+            "linearizable": lin.ok,
+            "linearizability_skipped": lin.skipped,
+            "truncated_rings": dict(
+                testbed.sim.journal.truncated_rings()),
+        }
+
     return FaultTrialResult(
         style=style, n_replicas=n_replicas, n_clients=n_clients,
         duration_us=duration_us, sent=sent, completed=completed,
@@ -288,4 +328,4 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
         bandwidth_mbps=wire_bytes / elapsed if elapsed > 0 else 0.0,
         wire_bytes=wire_bytes, injected=list(injector.injected),
         telemetry=telemetry_digest, journal=journal_summary,
-        journal_events=journal_events)
+        journal_events=journal_events, check=check_digest)

@@ -32,6 +32,13 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 #: ``switch_id`` (see :meth:`Journal.record`).
 ADAPTATION_DECISION = "adaptation.decision"
 
+#: Event kind recorded (once per host, counter updated in place) when
+#: a per-host flight-recorder ring evicts events.  Consumers — the
+#: ``observe`` CLI and the ``repro.check`` verifiers — treat any
+#: verdict over a truncated ring as advisory, because evidence was
+#: lost silently before this marker existed.
+RING_TRUNCATED = "journal.truncated"
+
 
 @dataclass
 class JournalEvent:
@@ -108,6 +115,10 @@ class Journal:
         # Adaptation decisions keyed by switch_id: the first manager to
         # record one wins; later identical decisions become voters.
         self._decisions: Dict[str, JournalEvent] = {}
+        # One truncation marker per host whose ring evicted events;
+        # its ``dropped`` attr is updated in place on every eviction
+        # (same arrangement as decision ``voters``).
+        self._ring_markers: Dict[str, JournalEvent] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -148,6 +159,20 @@ class Journal:
         ring = self._rings.get(host)
         if ring is None:
             ring = self._rings[host] = deque(maxlen=self.ring_size)
+        elif len(ring) == self.ring_size:
+            # The ring is about to evict its oldest event.  Record the
+            # loss once per host — in the global stream, so exports and
+            # checkers see it — and count further evictions in place.
+            marker = self._ring_markers.get(host)
+            if marker is None:
+                marker = JournalEvent(
+                    seq=self._seq, time_us=time_us, host=host,
+                    component="journal", kind=RING_TRUNCATED,
+                    attrs={"dropped": 0, "ring_size": self.ring_size})
+                self._seq += 1
+                self.events.append(marker)
+                self._ring_markers[host] = marker
+            marker.attrs["dropped"] += 1
         ring.append(event)
         if kind == ADAPTATION_DECISION and "switch_id" in event.attrs:
             event.attrs.setdefault("voters", 1)
@@ -159,8 +184,22 @@ class Journal:
     # Reading
     # ------------------------------------------------------------------
     def flight_recorder(self, host: str) -> Tuple[JournalEvent, ...]:
-        """The last ``ring_size`` events that touched ``host``."""
-        return tuple(self._rings.get(host, ()))
+        """The last ``ring_size`` events that touched ``host``.
+
+        When the ring has evicted events, the excerpt is prefixed with
+        the host's ``journal.truncated`` marker so the black box
+        self-describes how much evidence it lost.
+        """
+        ring = tuple(self._rings.get(host, ()))
+        marker = self._ring_markers.get(host)
+        if marker is not None:
+            return (marker,) + ring
+        return ring
+
+    def truncated_rings(self) -> Dict[str, int]:
+        """Dropped-event counts of every truncated per-host ring."""
+        return {host: marker.attrs["dropped"]
+                for host, marker in sorted(self._ring_markers.items())}
 
     def of_kind(self, prefix: str) -> Tuple[JournalEvent, ...]:
         """Events whose kind equals or starts with ``prefix``."""

@@ -84,6 +84,7 @@ def journal_digest(journal: Any,
     return {
         "events": len(events),
         "dropped": journal.dropped,
+        "truncated_rings": dict(journal.truncated_rings()),
         "by_component": dict(sorted(by_component.items())),
         "availability": report.availability,
         "degraded_fraction": report.degraded_fraction,

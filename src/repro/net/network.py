@@ -116,6 +116,12 @@ class Network:
 
         self.stats.record_transmit(self.sim.now, frame.src.host,
                                    frame.dst.host, frame.wire_bytes)
+        policy = self.sim.scheduler_policy
+        if policy is not None:
+            # Schedule-space exploration: the checker's policy may add
+            # a bounded extra delay per frame, perturbing delivery
+            # interleavings the way a real LAN's queueing would.
+            extra_delay += policy.message_delay(frame.wire_bytes)
         delay = self._delay_us(frame, local=(frame.src.host == frame.dst.host))
         self.sim.schedule_fast(delay + extra_delay, dst_host.deliver,
                                frame.dst.port, frame)

@@ -48,6 +48,13 @@ class OrbClient:
                               operation=operation, payload=payload,
                               payload_bytes=payload_bytes, oneway=oneway)
         request.timeline.started_at = self.sim.now
+        history = self.sim.history
+        if history.enabled:
+            # The invocation interval opens here — at the ORB boundary,
+            # before marshalling — because this is the instant the
+            # client observably committed to the operation.
+            history.invoked(request_id, object_key, operation, payload,
+                            self.sim.now, client=self.process.name)
         marshal_us = (self.cal.marshal_fixed_us
                       + self.cal.marshal_per_byte_us * payload_bytes)
         request.timeline.add(COMPONENT_ORB, marshal_us)
@@ -101,6 +108,12 @@ class OrbClient:
                 if telemetry.enabled and reply_ctx is not None:
                     telemetry.end(demarshal_span, self.sim.now)
                     telemetry.finish_trace(reply_ctx, self.sim.now)
+                if history.enabled:
+                    # The interval closes when the demarshalled reply
+                    # reaches application code — the client's first
+                    # chance to act on the returned value.
+                    history.completed(request_id, reply.payload,
+                                      self.sim.now)
                 on_reply(reply)
 
             self.process.host.cpu.execute(demarshal_us, after_demarshal)

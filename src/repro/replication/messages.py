@@ -8,7 +8,7 @@ state-transfer traffic for joining replicas.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro.gcs.messages import MemberId
 from repro.orb.giop import GiopReply, GiopRequest
@@ -83,6 +83,14 @@ class Checkpoint:
     source: MemberId
     final_for: Optional[str] = None
     sync_for: Optional[MemberId] = None
+    #: Completed entries of the primary's duplicate-suppression cache
+    #: (request id -> cached reply).  A backup that takes over after
+    #: applying this checkpoint must suppress retries of requests whose
+    #: effects the checkpointed state already contains — re-executing
+    #: them would double-apply acknowledged work.  The entries ride in
+    #: the same checkpoint message (their cost is part of the state
+    #: snapshot already accounted in ``state_bytes``).
+    seen: Tuple[Tuple[str, Any], ...] = ()
 
     @property
     def wire_bytes(self) -> int:

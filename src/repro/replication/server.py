@@ -469,9 +469,15 @@ class ServerReplicator(Actor, ServerTransport):
             wire_state = int(nbytes * self.config.checkpoint_delta_fraction)
         else:
             wire_state = nbytes
+        # Ship the completed reply cache with the snapshot: any request
+        # whose effect is in this state must be suppressed (and its
+        # cached reply resent) by whoever restores from it.
+        seen = tuple((rid, cached) for rid, cached in self._seen.items()
+                     if cached is not None)
         ckpt = Checkpoint(ckpt_id=self._ckpt_ids, state=state,
                           state_bytes=wire_state, source=self.member,
-                          final_for=final_for, sync_for=sync_for)
+                          final_for=final_for, sync_for=sync_for,
+                          seen=seen)
         if self.sim.telemetry.enabled:
             self._count("replicator_checkpoints_total")
             self._observe("checkpoint_bytes", wire_state,
@@ -538,6 +544,8 @@ class ServerReplicator(Actor, ServerTransport):
             self._journal("checkpoint.apply", ckpt_id=ckpt.ckpt_id,
                           source=str(ckpt.source))
             self._request_log.clear()
+            for rid, cached in ckpt.seen:
+                self._remember(rid, cached)
             if not self._synced:
                 if ckpt.sync_for in (None, self.member):
                     self._mark_synced()
@@ -806,6 +814,13 @@ class ServerReplicator(Actor, ServerTransport):
                       from_style=switch.from_style.value,
                       to_style=switch.target.value, queued=queued,
                       duration_us=self.sim.now - switch.started_at)
+        # Broadcast-mode backups logged requests since the last
+        # checkpoint; the rollback promotes them to executors, so the
+        # log must replay (mirroring _take_over_as_primary) or those
+        # acknowledged requests are lost.
+        log, self._request_log = self._request_log, []
+        for rep in log:
+            self._process(rep)
         self._drain_queue()
 
     # ==================================================================

@@ -28,9 +28,11 @@ from repro.sim.config import (
 )
 from repro.sim.host import Cpu, Host, Process
 from repro.sim.kernel import (
+    NULL_HISTORY,
     NULL_JOURNAL,
     NULL_TELEMETRY,
     EventHandle,
+    NullHistory,
     NullJournal,
     NullTelemetry,
     Simulator,
@@ -46,9 +48,11 @@ __all__ = [
     "HostCalibration",
     "InterposeCalibration",
     "JournalConfig",
+    "NULL_HISTORY",
     "NULL_JOURNAL",
     "NULL_TELEMETRY",
     "NetworkCalibration",
+    "NullHistory",
     "NullJournal",
     "NullTelemetry",
     "OrbCalibration",

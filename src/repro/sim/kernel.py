@@ -165,12 +165,47 @@ class NullJournal:
         """Return no events: nothing is ever recorded."""
         return ()
 
+    def truncated_rings(self) -> dict:
+        """Return no truncation: nothing is ever recorded or evicted."""
+        return {}
+
     def __len__(self) -> int:
         return 0
 
 
 #: Shared stateless no-op journal.
 NULL_JOURNAL = NullJournal()
+
+
+class NullHistory:
+    """Disabled operation-history recorder: the default for every
+    simulator.
+
+    Mirrors the interface of
+    :class:`repro.check.history.HistoryRecorder` as pure no-ops, the
+    same arrangement as :class:`NullTelemetry`: it lives here —
+    dependency-free — so the kernel never imports the checker package,
+    and the ORB client pays one attribute load plus one ``.enabled``
+    branch per invocation when history capture is off.
+    """
+
+    enabled = False
+    operations: tuple = ()
+
+    def invoked(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real recorder would open an operation interval."""
+        return None
+
+    def completed(self, *_args: Any, **_kwargs: Any) -> None:
+        """No-op; a real recorder would close the operation interval."""
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared stateless no-op history recorder.
+NULL_HISTORY = NullHistory()
 
 
 #: Heap compaction trigger: once at least this many cancelled entries
@@ -210,6 +245,17 @@ class Simulator:
         #: calibration says so.  Journaling is observation-only (never
         #: schedules events), so results are identical either way.
         self.journal: Any = NULL_JOURNAL
+        #: Client-observed operation history; the no-op by default.
+        #: The checker attaches a
+        #: :class:`repro.check.history.HistoryRecorder` for
+        #: linearizability verification.  Recording is
+        #: observation-only, so results are identical either way.
+        self.history: Any = NULL_HISTORY
+        #: Scheduling policy installed via :meth:`set_scheduler_policy`
+        #: (None by default).  The network layer consults it for
+        #: bounded extra message delays; same-timestamp tie-breaking is
+        #: folded into the sequence counter below.
+        self.scheduler_policy: Any = None
         self._heap: List[EventHandle] = []
         self._seq = itertools.count()
         self._pids = itertools.count(1)
@@ -228,6 +274,37 @@ class Simulator:
         ids embed the pid, and the journal's byte-identical-JSONL
         guarantee depends on it."""
         return next(self._pids)
+
+    def set_scheduler_policy(self, policy: Any) -> None:
+        """Install a scheduling policy that perturbs same-timestamp
+        event ordering (and, via the network layer, message delays).
+
+        The policy is duck-typed (see
+        :class:`repro.check.policies.SchedulerPolicy`): it must expose
+        ``tie_break() -> int`` — consulted once per scheduled event —
+        and ``message_delay(wire_bytes) -> float``.  The hook works by
+        replacing the kernel's plain sequence counter with tuples of
+        ``(tie_break(), n)``: events at equal simulated times sort by
+        the policy's tie-break value first, with the monotone counter
+        still guaranteeing a total order.  With no policy installed the
+        scheduling code path is byte-for-byte the unmodified original,
+        so default-policy runs stay identical to pre-hook kernels.
+
+        Must be called before any event is scheduled: mixing plain-int
+        and tuple sequence numbers in one heap would make handles
+        incomparable.
+        """
+        if self._heap:
+            raise SimulationError(
+                "scheduler policy must be installed before any event "
+                "is scheduled")
+        self.scheduler_policy = policy
+
+        def _seq_with_policy():
+            for n in itertools.count():
+                yield (policy.tie_break(), n)
+
+        self._seq = _seq_with_policy()
 
     # ------------------------------------------------------------------
     # Scheduling

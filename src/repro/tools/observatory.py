@@ -32,6 +32,7 @@ JOURNAL_TAGS: Tuple[Tuple[str, str], ...] = (
     ("adaptation.decision", "ADAPT"),
     ("contract", "CONTRACT"),
     ("client.giveup", "GIVEUP"),
+    ("journal.truncated", "TRUNC"),
 )
 
 _STATE_COLOURS = {"up": "#2e7d32", "degraded": "#f9a825",
@@ -87,6 +88,10 @@ def _describe(event: JournalEvent) -> str:
     if event.kind == "client.giveup":
         return (f"gave up on {attrs.get('request_id')} after "
                 f"{attrs.get('attempts')} attempts")
+    if event.kind == "journal.truncated":
+        return (f"flight recorder dropped {attrs.get('dropped')} "
+                f"event(s) (ring size {attrs.get('ring_size')}); "
+                f"excerpt incomplete")
     return " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
 
 
@@ -125,6 +130,13 @@ def journal_summary(events: Sequence[JournalEvent],
         f"MTTF {report.mttf_us / 1e6:.3f} s, "
         f"{report.false_positives} false positive(s)",
     ]
+    truncated = {e.host: e.attrs.get("dropped", 0)
+                 for e in events if e.kind == "journal.truncated"}
+    if truncated:
+        detail = ", ".join(f"{host} lost {n}"
+                           for host, n in sorted(truncated.items()))
+        lines.append(f"WARNING: flight-recorder rings truncated "
+                     f"({detail}); per-host excerpts are incomplete")
     if matches:
         lines.append("")
         lines.append(f"{'fault':14s} {'target':18s} {'at [s]':>8s} "

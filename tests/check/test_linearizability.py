@@ -1,0 +1,89 @@
+"""Wing–Gong checker unit tests over hand-built histories."""
+
+from repro.check import CounterSpec, IncrementSpec, Operation, check_linearizability
+
+
+def _op(op_id, operation, payload, invoked, completed=None, result=None):
+    return Operation(op_id=op_id, object_key="counter",
+                     operation=operation, payload=payload,
+                     invoked_at=invoked, client="c1",
+                     result=result, completed_at=completed)
+
+
+class TestCounterHistories:
+    def test_sequential_history_is_linearizable(self):
+        ops = [
+            _op("a", "add", 1, 0.0, 1.0, result=1),
+            _op("b", "add", 1, 2.0, 3.0, result=2),
+            _op("c", "read", 0, 4.0, 5.0, result=2),
+        ]
+        verdict = check_linearizability(ops, CounterSpec())
+        assert verdict.ok
+        assert list(verdict.linearization) == ["a", "b", "c"]
+
+    def test_concurrent_adds_commute(self):
+        ops = [
+            _op("a", "add", 1, 0.0, 10.0, result=2),
+            _op("b", "add", 1, 0.0, 10.0, result=1),
+        ]
+        assert check_linearizability(ops, CounterSpec()).ok
+
+    def test_double_applied_add_is_rejected(self):
+        # One add acknowledged as 1, yet a later read observes 2:
+        # the increment took effect twice (the retry double-apply bug).
+        ops = [
+            _op("a", "add", 1, 0.0, 1.0, result=1),
+            _op("b", "read", 0, 2.0, 3.0, result=2),
+        ]
+        verdict = check_linearizability(ops, CounterSpec())
+        assert not verdict.ok
+        assert verdict.blocked_ops
+
+    def test_stale_read_is_rejected(self):
+        # The read started after the add completed, so real-time order
+        # forbids linearizing it before the add.
+        ops = [
+            _op("a", "add", 1, 0.0, 1.0, result=1),
+            _op("b", "read", 0, 2.0, 3.0, result=0),
+        ]
+        assert not check_linearizability(ops, CounterSpec()).ok
+
+    def test_pending_op_may_take_effect(self):
+        # The pending add's reply was lost, but a later read proves it
+        # executed — legal, the primary may have died after applying.
+        ops = [
+            _op("a", "add", 1, 0.0),  # no reply observed
+            _op("b", "read", 0, 5.0, 6.0, result=1),
+        ]
+        assert check_linearizability(ops, CounterSpec()).ok
+
+    def test_pending_op_may_never_take_effect(self):
+        ops = [
+            _op("a", "add", 1, 0.0),
+            _op("b", "read", 0, 5.0, 6.0, result=0),
+        ]
+        assert check_linearizability(ops, CounterSpec()).ok
+
+    def test_large_history_is_skipped_not_truncated(self):
+        ops = [_op(f"a{i}", "add", 1, float(i), float(i) + 0.5,
+                   result=i + 1)
+               for i in range(30)]
+        verdict = check_linearizability(ops, CounterSpec(),
+                                        max_operations=10)
+        assert verdict.ok and verdict.skipped
+
+
+class TestIncrementSpec:
+    def test_every_operation_increments(self):
+        ops = [
+            _op("a", "ping", 0, 0.0, 1.0, result=1),
+            _op("b", "ping", 0, 2.0, 3.0, result=2),
+        ]
+        assert check_linearizability(ops, IncrementSpec()).ok
+
+    def test_lost_increment_is_rejected(self):
+        ops = [
+            _op("a", "ping", 0, 0.0, 1.0, result=1),
+            _op("b", "ping", 0, 2.0, 3.0, result=1),
+        ]
+        assert not check_linearizability(ops, IncrementSpec()).ok

@@ -1,0 +1,123 @@
+"""Scenario determinism, exploration, mutation detection, artifacts.
+
+The golden-ordering guarantee — the kernel with no policy (or the
+identity policy) dispatches events byte-identically to the pre-hook
+kernel — is asserted two ways: digest equality between plain and
+identity-policy runs here, and the pre-existing golden digests in
+``tests/bench/test_golden_determinism.py`` staying green.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.check import (MUTATIONS, CheckScenario, RandomWalkPolicy,
+                         SchedulerPolicy, canonical_scenario,
+                         explore, load_artifact, minimize, replay,
+                         run_schedule, write_artifact)
+from repro.check.artifact import artifact_from_report
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def _small_scenario(**overrides):
+    """A shrunk canonical scenario: seconds of sim time, not tens."""
+    base = replace(canonical_scenario(), n_requests=4,
+                   horizon_us=1_000_000.0, settle_us=500_000.0)
+    return replace(base, **overrides)
+
+
+class TestKernelPolicyHook:
+    def test_identity_policy_is_byte_identical_to_no_policy(self):
+        scenario = _small_scenario()
+        plain = run_schedule(scenario)
+        identity = run_schedule(scenario, SchedulerPolicy())
+        assert identity.digest == plain.digest
+
+    def test_same_schedule_twice_is_deterministic(self):
+        scenario = _small_scenario()
+        policy_digests = {
+            run_schedule(scenario, RandomWalkPolicy(seed=5)).digest
+            for _ in range(2)}
+        assert len(policy_digests) == 1
+
+    def test_random_walks_actually_perturb_ordering(self):
+        scenario = _small_scenario()
+        digests = {run_schedule(scenario, RandomWalkPolicy(
+            seed=s, delay_bound_us=150.0)).digest for s in range(3)}
+        assert len(digests) > 1
+
+    def test_policy_must_be_installed_before_scheduling(self):
+        sim = Simulator(seed=1)
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.set_scheduler_policy(SchedulerPolicy())
+
+
+class TestScenarioRoundTrip:
+    def test_to_dict_from_dict_round_trips(self):
+        scenario = canonical_scenario(seed=3,
+                                      mutation="skip_final_checkpoint")
+        assert CheckScenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_known_mutations_registered(self):
+        assert set(MUTATIONS) == {"skip_final_checkpoint",
+                                  "forget_seen_cache"}
+
+
+class TestExploration:
+    def test_small_clean_exploration_verifies(self):
+        result = explore(_small_scenario(), budget=3)
+        assert result.ok
+        assert result.schedules_run == 3
+        assert result.distinct_schedules >= 1
+        assert all(r.decisions for r in result.reports)
+
+    def test_skip_final_checkpoint_caught_within_default_budget(self):
+        # The seeded protocol bug: the switch coordinator skips the
+        # final state checkpoint, so the post-switch read loses acked
+        # increments.  Must be found well inside the CI budget of 200.
+        scenario = canonical_scenario(mutation="skip_final_checkpoint")
+        result = explore(scenario, budget=10)
+        assert not result.ok
+        violating = result.violating[0]
+        invariants = {v.invariant for v in violating.violations}
+        assert invariants  # at least one checker fired
+        assert violating.decisions
+
+
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def violating_report(self):
+        scenario = canonical_scenario(mutation="skip_final_checkpoint")
+        result = explore(scenario, budget=10)
+        assert not result.ok
+        return result.violating[0]
+
+    def test_artifact_replays_byte_identically(self, violating_report):
+        artifact = artifact_from_report(violating_report,
+                                        tie_choices=4,
+                                        delay_bound_us=150.0)
+        outcome = replay(artifact)
+        assert outcome.identical
+        assert outcome.reproduced
+        assert outcome.digest == violating_report.digest
+
+    def test_minimize_keeps_the_failure(self, violating_report):
+        artifact = artifact_from_report(violating_report,
+                                        tie_choices=4,
+                                        delay_bound_us=150.0)
+        small = minimize(artifact)
+        assert small.minimized
+        assert small.violations
+        assert small.scenario.n_requests <= artifact.scenario.n_requests
+        assert small.scenario.horizon_us <= artifact.scenario.horizon_us
+        assert replay(small).reproduced
+
+    def test_artifact_file_round_trip(self, violating_report, tmp_path):
+        artifact = artifact_from_report(violating_report,
+                                        tie_choices=4,
+                                        delay_bound_us=150.0)
+        path = tmp_path / "repro.json"
+        write_artifact(artifact, str(path))
+        assert load_artifact(str(path)) == artifact

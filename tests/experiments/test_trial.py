@@ -114,3 +114,25 @@ def test_failed_fraction_of_empty_trial_is_zero():
                               injected=[])
     assert result.failed_fraction == 0.0
     assert result.late_fraction == 0.0
+
+
+def test_check_attaches_verification_verdict():
+    result = run(check=True)
+    assert result.check is not None
+    assert result.check["ok"] is True
+    assert result.check["linearizable"] is True
+    assert result.check["violations"] == []
+    assert result.check["operations"] > 0
+    assert result.check["truncated_rings"] == {}
+    assert result.metrics()["check"]["ok"] is True
+
+
+def test_check_forces_journal_capture():
+    result = run(check=True, journal=False)
+    assert result.journal_events is not None
+
+
+def test_no_check_by_default():
+    result = run()
+    assert result.check is None
+    assert "check" not in result.metrics()

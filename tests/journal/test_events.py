@@ -55,11 +55,23 @@ class TestFlightRecorder:
         record_n(journal, 5, host="s01")
         journal.record(99.0, "s02", "gcs", "membership.view")
         ring = journal.flight_recorder("s01")
-        assert [e.attrs["index"] for e in ring] == [2, 3, 4]
+        # A truncated ring leads with its journal.truncated marker.
+        assert ring[0].kind == "journal.truncated"
+        assert ring[0].attrs["dropped"] == 2
+        assert [e.attrs["index"] for e in ring[1:]] == [2, 3, 4]
         assert len(journal.flight_recorder("s02")) == 1
         assert journal.flight_recorder("nowhere") == ()
-        # The global collector keeps everything the ring evicted.
-        assert len(journal) == 6
+        # The global collector keeps everything the ring evicted,
+        # plus the marker itself.
+        assert len(journal) == 7
+        assert journal.truncated_rings() == {"s01": 2}
+
+    def test_untruncated_ring_has_no_marker(self):
+        journal = Journal(ring_size=8)
+        record_n(journal, 5, host="s01")
+        ring = journal.flight_recorder("s01")
+        assert [e.kind for e in ring] == ["membership.view"] * 5
+        assert journal.truncated_rings() == {}
 
     def test_hosts_sorted(self):
         journal = Journal()

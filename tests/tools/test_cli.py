@@ -285,3 +285,80 @@ def test_campaign_journal_flag_captures_per_trial_jsonl(tmp_path, capsys):
     digest = crash["metrics"]["journal"]
     assert digest["faults_injected"] == 1
     assert digest["faults_matched"] + digest["faults_missed"] == 1
+
+
+def test_bench_usage_errors_exit_2(tmp_path, capsys):
+    missing = tmp_path / "nope"
+    assert main(["bench", "--quick", "--out-dir", str(missing)]) == 2
+    assert "not a directory" in capsys.readouterr().err
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--profile", "bogus"])
+    assert excinfo.value.code == 2
+
+
+def test_observe_usage_errors_exit_2(tmp_path, capsys):
+    journal = _write_journal(tmp_path)
+    assert main(["observe", str(journal), "--limit", "0"]) == 2
+    assert "must be >= 1" in capsys.readouterr().err
+    with pytest.raises(SystemExit) as excinfo:
+        main(["observe", str(journal), "--format", "yaml"])
+    assert excinfo.value.code == 2
+
+
+def test_check_usage_errors_exit_2(tmp_path, capsys):
+    assert main(["check", "--budget", "0"]) == 2
+    assert "must be >= 1" in capsys.readouterr().err
+    assert main(["check", "--tie-choices", "0"]) == 2
+    assert main(["check", "--delay-bound", "-1"]) == 2
+    assert main(["check", "--mutation", "bogus"]) == 2
+    assert "unknown --mutation" in capsys.readouterr().err
+    missing = tmp_path / "missing.json"
+    assert main(["check", "--replay", str(missing)]) == 2
+    assert "cannot load" in capsys.readouterr().err
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    assert main(["check", "--replay", str(corrupt)]) == 2
+    with pytest.raises(SystemExit) as excinfo:
+        main(["check", "--replay", str(missing), "--minimize",
+              str(missing)])
+    assert excinfo.value.code == 2  # mutually exclusive modes
+
+
+def test_check_explore_clean_exits_0(capsys):
+    assert main(["check", "--explore", "--budget", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "explored 2 schedules" in out
+    assert "verdict: PASS" in out
+
+
+def test_check_explore_mutation_writes_replayable_artifact(tmp_path,
+                                                          capsys):
+    artifact = tmp_path / "viol" / "repro.json"
+    assert main(["check", "--explore", "--budget", "10",
+                 "--mutation", "skip_final_checkpoint",
+                 "--artifact", str(artifact)]) == 1
+    out = capsys.readouterr().out
+    assert "verdict: FAIL" in out
+    assert artifact.exists()
+
+    assert main(["check", "--replay", str(artifact)]) == 0
+    assert "REPRODUCED" in capsys.readouterr().out
+
+
+def test_campaign_check_flag_attaches_verdicts(tmp_path, capsys):
+    import json
+
+    spec = _write_campaign_spec(tmp_path)
+    results = tmp_path / "out.jsonl"
+    assert main(["campaign", str(spec), "--results", str(results),
+                 "--check", "--quiet"]) == 0
+    capsys.readouterr()
+    records = [json.loads(line)
+               for line in results.read_text().splitlines()]
+    assert records
+    for record in records:
+        if record["status"] != "ok":
+            continue
+        verdict = record["metrics"]["check"]
+        assert verdict["ok"] is True
+        assert verdict["operations"] > 0
