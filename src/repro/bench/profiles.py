@@ -1,6 +1,6 @@
 """The fixed bench suite: calibrated performance profiles.
 
-Four profiles, each reporting wall-clock-grounded throughput numbers
+Five profiles, each reporting wall-clock-grounded throughput numbers
 plus peak RSS:
 
 - ``kernel_events`` — pure event-loop throughput: an event-chain
@@ -14,7 +14,9 @@ plus peak RSS:
 - ``campaign`` — a small fault-injection campaign through the
   persistent worker pool, reporting trials/sec;
 - ``check`` — the ``repro.check`` canonical scenario with and without
-  verification, reporting the schedule-exploration overhead ratio.
+  verification, reporting the schedule-exploration overhead ratio;
+- ``cluster`` — the sharded closed-loop load at 1 vs. 4 shards on the
+  same host set, reporting the aggregate-throughput scaling factor.
 
 ``quick=True`` shrinks every workload to CI-smoke size (seconds, not
 minutes); the metric *names* are identical either way so baselines
@@ -201,6 +203,57 @@ def _campaign(quick: bool) -> BenchReport:
 
 
 # ---------------------------------------------------------------------------
+# cluster: throughput scaling with shard count
+# ---------------------------------------------------------------------------
+
+def _cluster(quick: bool) -> BenchReport:
+    """Aggregate closed-loop throughput at 1 vs. 4 shards.
+
+    Both runs use the same host set, client fleet and key universe —
+    only the shard count changes — so ``scaling_x`` isolates the win
+    of parallel primaries.  ``styles_distinct`` asserts, from the
+    journal's per-shard deployment events, that the 4-shard run really
+    mixes replication styles (one active, three warm-passive).
+    """
+    from repro.cluster import run_cluster_load
+
+    n_requests = 15 if quick else 40
+    n_clients = 12
+    n_server_hosts = 5
+
+    r1, wall1 = _timed(lambda: run_cluster_load(
+        n_shards=1, n_clients=n_clients, n_requests=n_requests,
+        n_server_hosts=n_server_hosts, seed=1, journal=True))
+    r4, wall4 = _timed(lambda: run_cluster_load(
+        n_shards=4, n_clients=n_clients, n_requests=n_requests,
+        n_server_hosts=n_server_hosts, seed=1, journal=True))
+    assert r4.journal is not None
+    deployed_styles = {event.attrs.get("style")
+                       for event in r4.journal.events
+                       if event.component == "cluster"
+                       and event.kind == "shard"}
+    total_events = r1.events_dispatched + r4.events_dispatched
+    total_wall = wall1 + wall4
+    metrics = {
+        "shards1_throughput_per_s": r1.throughput_per_s,
+        "shards4_throughput_per_s": r4.throughput_per_s,
+        "scaling_x": (r4.throughput_per_s
+                      / max(r1.throughput_per_s, 1e-9)),
+        "styles_distinct": float(len(deployed_styles)),
+        "latency_mean_us": r4.latency_mean_us,
+        "events_per_sec": total_events / max(total_wall, 1e-9),
+        "wall_s": total_wall,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return BenchReport(
+        profile="cluster", quick=quick,
+        parameters={"n_requests": n_requests, "n_clients": n_clients,
+                    "n_server_hosts": n_server_hosts,
+                    "shard_counts": [1, 4]},
+        metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
 # check: schedule-exploration overhead
 # ---------------------------------------------------------------------------
 
@@ -260,6 +313,7 @@ _PROFILES: Dict[str, Callable[[bool], BenchReport]] = {
     "rtt": _rtt,
     "campaign": _campaign,
     "check": _check,
+    "cluster": _cluster,
 }
 
 #: Names of the fixed suite, in run order.

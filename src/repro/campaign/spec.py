@@ -46,6 +46,10 @@ class TrialSpec:
     rate_per_s: float
     deadline_us: float
     settle_us: float
+    #: Shard count; 1 = the classic single replica group.  Sharded
+    #: trials (> 1) run through :func:`repro.cluster.run_cluster_trial`
+    #: and support only the ``none``/``process_crash`` fault loads.
+    n_shards: int = 1
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on any bad field."""
@@ -64,6 +68,13 @@ class TrialSpec:
             raise ConfigurationError("replicas and clients must be >= 1")
         if self.checkpoint_interval < 1:
             raise ConfigurationError("checkpoint interval must be >= 1")
+        if self.n_shards < 1:
+            raise ConfigurationError("shard count must be >= 1")
+        if self.n_shards > 1 and self.fault_load not in ("none",
+                                                         "process_crash"):
+            raise ConfigurationError(
+                f"sharded trials support fault loads 'none' and "
+                f"'process_crash', not {self.fault_load!r}")
         if min(self.duration_us, self.rate_per_s, self.deadline_us) <= 0:
             raise ConfigurationError(
                 "duration, rate and deadline must be positive")
@@ -78,11 +89,20 @@ class TrialSpec:
     def config_key(self) -> str:
         """Knob-configuration key (what scores aggregate over)."""
         style = ReplicationStyle(self.style)
-        return f"{style.short}({self.n_replicas})/k{self.checkpoint_interval}"
+        base = f"{style.short}({self.n_replicas})/k{self.checkpoint_interval}"
+        if self.n_shards > 1:
+            return f"{base}x{self.n_shards}"
+        return base
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready dict (embedded verbatim in trial records)."""
-        return asdict(self)
+        """JSON-ready dict (embedded verbatim in trial records).
+
+        ``n_shards`` is omitted at its default so unsharded records
+        stay byte-identical to those of earlier builds."""
+        data = asdict(self)
+        if self.n_shards == 1:
+            del data["n_shards"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TrialSpec":
@@ -111,6 +131,9 @@ class CampaignSpec:
     checkpoint_intervals: List[int] = field(default_factory=lambda: [1])
     fault_loads: List[str] = field(default_factory=lambda: [
         "none", "process_crash", "loss_burst"])
+    #: Shard counts to sweep; the default [1] keeps campaigns (and
+    #: their trial ids) identical to pre-cluster builds.
+    shard_counts: List[int] = field(default_factory=lambda: [1])
     seeds: List[int] = field(default_factory=lambda: [0])
     n_clients: int = 2
     duration_us: float = 1_000_000.0
@@ -134,6 +157,7 @@ class CampaignSpec:
                              ("checkpoint_intervals",
                               self.checkpoint_intervals),
                              ("fault_loads", self.fault_loads),
+                             ("shard_counts", self.shard_counts),
                              ("seeds", self.seeds)):
             if not values:
                 raise ConfigurationError(f"empty campaign axis: {axis}")
@@ -149,18 +173,27 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     def _grid(self) -> List[TrialSpec]:
         trials = []
-        for style, n_replicas, interval, fault, seed in itertools.product(
-                self.styles, self.replica_counts,
-                self.checkpoint_intervals, self.fault_loads, self.seeds):
+        for style, n_replicas, interval, fault, n_shards, seed in \
+                itertools.product(
+                    self.styles, self.replica_counts,
+                    self.checkpoint_intervals, self.fault_loads,
+                    self.shard_counts, self.seeds):
+            if n_shards > 1 and fault not in ("none", "process_crash"):
+                # The other dictionary loads assume one replica group;
+                # drop those combinations rather than failing the sweep.
+                continue
             trial_id = (f"{style}-r{n_replicas}-k{interval}"
-                        f"-{fault}-s{seed}")
+                        f"-{fault}"
+                        f"{f'-sh{n_shards}' if n_shards > 1 else ''}"
+                        f"-s{seed}")
             trials.append(TrialSpec(
                 trial_id=trial_id, style=style, n_replicas=n_replicas,
                 checkpoint_interval=interval, fault_load=fault,
                 seed=derive_trial_seed(self.base_seed, trial_id),
                 n_clients=self.n_clients, duration_us=self.duration_us,
                 rate_per_s=self.rate_per_s,
-                deadline_us=self.deadline_us, settle_us=self.settle_us))
+                deadline_us=self.deadline_us, settle_us=self.settle_us,
+                n_shards=n_shards))
         return trials
 
     def expand(self) -> List[TrialSpec]:

@@ -13,6 +13,8 @@
 - ``bench``     — run the performance suite; write BENCH_*.json artifacts
 - ``check``     — explore schedule space; verify linearizability and
   protocol invariants; replay/minimize repro artifacts
+- ``cluster``   — sharded deployments: summary, key routing, live
+  rebalance check, journal replay
 """
 
 from __future__ import annotations
@@ -32,6 +34,34 @@ from repro.replication import ReplicationStyle
 from repro.sim import PAPER_FIG3_BREAKDOWN
 from repro.tools import policy_to_csv, profile_to_csv, render_series
 from repro.workload import SpikeProfile
+
+
+#: One-line summary per subcommand: the single source for the
+#: ``--help`` listing and the unknown-command error listing.
+_SUMMARIES = {
+    "breakdown": "Fig. 3 round-trip breakdown",
+    "profile": "Fig. 7 sweep",
+    "policy": "Table 2 scalability policy",
+    "adaptive": "Fig. 6 adaptive scenario",
+    "campaign": "run a fault-injection campaign from a spec",
+    "trace": "record a traced run and export spans/metrics",
+    "observe": "render a dependability journal "
+               "(timeline, availability, fault cross-check)",
+    "bench": "run the performance suite; write canonical "
+             "BENCH_<profile>.json artifacts",
+    "check": "explore schedule space and verify linearizability + "
+             "protocol invariants; replay/minimize repro artifacts",
+    "cluster": "sharded deployments: summary, key routing, live "
+               "rebalance check, journal replay",
+    "report": "regenerate EXPERIMENTS.md on stdout",
+    "verify": "self-check calibration + Table 2 pattern",
+}
+
+
+def _usage_error(command: str, message: str) -> int:
+    """Report a usage error uniformly: one line on stderr, exit 2."""
+    print(f"{command}: {message}", file=sys.stderr)
+    return 2
 
 
 def _cmd_breakdown(args: argparse.Namespace) -> int:
@@ -128,8 +158,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
         spec = CampaignSpec.from_file(args.spec)
     except (ConfigurationError, OSError) as exc:
-        print(f"campaign: bad spec {args.spec}: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error("campaign", f"bad spec {args.spec}: {exc}")
     results_path = args.results or f"{args.spec}.results.jsonl"
     store = ResultsStore(results_path)
     if args.fresh:
@@ -151,8 +180,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                journal_dir=args.journal,
                                check=args.check)
     except ConfigurationError as exc:
-        print(f"campaign: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error("campaign", str(exc))
     print(f"ran {summary.ran}, skipped {summary.skipped} "
           f"(already recorded), failed {summary.failed}, "
           f"in {summary.elapsed_s:.1f}s")
@@ -199,9 +227,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
 
     if args.replicas < 1 or args.clients < 1 or args.requests < 1:
-        print("trace: replicas, clients and requests must be >= 1",
-              file=sys.stderr)
-        return 2
+        return _usage_error(
+            "trace", "replicas, clients and requests must be >= 1")
     style = ReplicationStyle(args.style)
     result = run_replicated_load(
         style, n_replicas=args.replicas, n_clients=args.clients,
@@ -258,27 +285,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.errors import VerificationError
 
     if args.budget < 1:
-        print("check: --budget must be >= 1", file=sys.stderr)
-        return 2
+        return _usage_error("check", "--budget must be >= 1")
     if args.tie_choices < 1:
-        print("check: --tie-choices must be >= 1", file=sys.stderr)
-        return 2
+        return _usage_error("check", "--tie-choices must be >= 1")
     if args.delay_bound < 0:
-        print("check: --delay-bound must be >= 0", file=sys.stderr)
-        return 2
+        return _usage_error("check", "--delay-bound must be >= 0")
     if args.mutation is not None and args.mutation not in MUTATIONS:
-        print(f"check: unknown --mutation {args.mutation!r} "
-              f"(known: {', '.join(sorted(MUTATIONS))})", file=sys.stderr)
-        return 2
+        return _usage_error(
+            "check", f"unknown --mutation {args.mutation!r} "
+                     f"(known: {', '.join(sorted(MUTATIONS))})")
 
     if args.replay or args.minimize:
         path = args.replay or args.minimize
         try:
             artifact = load_artifact(path)
         except (OSError, VerificationError) as exc:
-            print(f"check: cannot load artifact {path}: {exc}",
-                  file=sys.stderr)
-            return 2
+            return _usage_error(
+                "check", f"cannot load artifact {path}: {exc}")
         if args.minimize:
             artifact = minimize(artifact)
             out = args.artifact or path
@@ -342,14 +365,12 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     from repro.tools import journal_html, journal_summary, render_journal
 
     if args.limit is not None and args.limit < 1:
-        print("observe: --limit must be >= 1", file=sys.stderr)
-        return 2
+        return _usage_error("observe", "--limit must be >= 1")
     try:
         events = read_jsonl(args.journal)
     except (OSError, ValueError) as exc:
-        print(f"observe: cannot read {args.journal}: {exc}",
-              file=sys.stderr)
-        return 2
+        return _usage_error(
+            "observe", f"cannot read {args.journal}: {exc}")
     if not events:
         print(f"observe: {args.journal} holds no events",
               file=sys.stderr)
@@ -373,9 +394,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import PROFILE_NAMES, run_profile, write_artifact
 
     if not os.path.isdir(args.out_dir):
-        print(f"bench: --out-dir {args.out_dir!r} is not a directory",
-              file=sys.stderr)
-        return 2
+        return _usage_error(
+            "bench", f"--out-dir {args.out_dir!r} is not a directory")
     names = tuple(args.profile) if args.profile else PROFILE_NAMES
     mode = "quick" if args.quick else "full"
     print(f"bench ({mode}): {', '.join(names)}")
@@ -386,6 +406,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"  {key:32s} {report.metrics[key]:>14.1f}")
         path = write_artifact(report, args.out_dir)
         print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Sharded-deployment operations (summary/route/rebalance/replay)."""
+    from repro.cluster import (
+        build_map,
+        run_cluster_load,
+        run_cluster_rebalance_check,
+    )
+
+    if args.action == "route":
+        if args.shards < 1:
+            return _usage_error("cluster", "--shards must be >= 1")
+        pmap = build_map([f"shard{i}" for i in range(args.shards)])
+        print(f"map of {args.shards} shard(s), "
+              f"digest {pmap.digest()[:16]}")
+        for key in args.keys:
+            print(f"  {key:24s} -> {pmap.owner_of(key)}")
+        return 0
+
+    if args.action == "summary":
+        if args.shards < 1:
+            return _usage_error("cluster", "--shards must be >= 1")
+        if args.clients < 1 or args.cycle < 1:
+            return _usage_error(
+                "cluster", "--clients and --cycle must be >= 1")
+        result = run_cluster_load(
+            n_shards=args.shards, n_clients=args.clients,
+            n_requests=args.cycle, seed=args.seed, journal=True)
+        print(f"{args.shards} shard(s), {args.clients} client(s), "
+              f"{result.completed}/{result.sent} completed")
+        print(f"  throughput {result.throughput_per_s:10.1f} req/s")
+        print(f"  latency    {result.latency_mean_us:10.1f} us "
+              f"(jitter {result.jitter_us:.1f})")
+        print(f"  map epoch {result.map_epoch}, routers agree: "
+              f"{result.routers_agree}, rerouted {result.rerouted}")
+        print(f"\n{'shard':10s} {'style':14s} {'processed':>10s} "
+              f"{'replies':>8s} {'ckpts':>6s}")
+        for name in sorted(result.per_shard):
+            stats = result.per_shard[name]
+            print(f"{name:10s} {result.shard_styles[name]:14s} "
+                  f"{stats['processed']:10d} {stats['replies']:8d} "
+                  f"{stats['checkpoints']:6d}")
+        return 0
+
+    if args.action == "rebalance":
+        if args.shards < 2:
+            return _usage_error(
+                "cluster", "a rebalance check needs --shards >= 2")
+        out = run_cluster_rebalance_check(
+            n_shards=args.shards, n_clients=args.clients,
+            n_requests=args.cycle, seed=args.seed)
+        print(f"live rebalance over {args.shards} shard(s): "
+              f"{out.migrations_committed} migration(s) committed, "
+              f"{out.rerouted} request(s) re-routed in flight")
+        print(f"  {out.operations} acked operation(s), survivors "
+              f"{ {k: max(v) if v else 0 for k, v in sorted(out.survivor_values.items())} }")
+        print(f"  digest {out.digest[:16]}")
+        if out.ok:
+            print("verdict: OK — no acked update lost, none "
+                  "double-applied")
+            return 0
+        for violation in out.violations:
+            print(f"  [{violation.get('invariant')}] "
+                  f"{violation.get('message')}", file=sys.stderr)
+        print("verdict: VIOLATED")
+        return 1
+
+    # replay: render the cluster events of a captured journal.
+    from repro.journal import read_jsonl
+    try:
+        events = read_jsonl(args.journal)
+    except (OSError, ValueError) as exc:
+        return _usage_error(
+            "cluster", f"cannot read {args.journal}: {exc}")
+    cluster_events = [e for e in events if e.component == "cluster"]
+    if not cluster_events:
+        print(f"cluster: {args.journal} holds no cluster events",
+              file=sys.stderr)
+        return 1
+    print(f"{len(cluster_events)} cluster event(s) "
+          f"of {len(events)} total:")
+    for event in cluster_events:
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(event.attrs.items()))
+        print(f"  {event.time_us / 1e6:10.6f}s  {event.host:8s} "
+              f"{event.kind:18s} {attrs}")
     return 0
 
 
@@ -445,13 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 150; paper used 10000)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("breakdown", help="Fig. 3 round-trip breakdown")
+    sub.add_parser("breakdown", help=_SUMMARIES["breakdown"])
 
-    profile_parser = sub.add_parser("profile", help="Fig. 7 sweep")
+    profile_parser = sub.add_parser("profile", help=_SUMMARIES["profile"])
     profile_parser.add_argument("--csv", help="write the sweep as CSV")
 
-    policy_parser = sub.add_parser("policy",
-                                   help="Table 2 scalability policy")
+    policy_parser = sub.add_parser("policy", help=_SUMMARIES["policy"])
     policy_parser.add_argument("--max-latency", type=float, default=7000.0)
     policy_parser.add_argument("--max-bandwidth", type=float, default=3.0)
     policy_parser.add_argument("--weight", type=float, default=0.5,
@@ -459,7 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     policy_parser.add_argument("--csv", help="write the policy as CSV")
 
     adaptive_parser = sub.add_parser("adaptive",
-                                     help="Fig. 6 adaptive scenario")
+                                     help=_SUMMARIES["adaptive"])
     adaptive_parser.add_argument("--base-rate", type=float, default=100.0)
     adaptive_parser.add_argument("--spike-rate", type=float, default=1100.0)
     adaptive_parser.add_argument("--high", type=float, default=400.0,
@@ -468,7 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="switch-down threshold [req/s]")
 
     campaign_parser = sub.add_parser(
-        "campaign", help="run a fault-injection campaign from a spec")
+        "campaign", help=_SUMMARIES["campaign"])
     campaign_parser.add_argument("spec", help="campaign spec JSON file")
     campaign_parser.add_argument("--workers", type=int, default=1,
                                  help="parallel worker processes "
@@ -505,8 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
                                       "verdict to the records and fail "
                                       "the campaign on violations")
 
-    trace_parser = sub.add_parser(
-        "trace", help="record a traced run and export spans/metrics")
+    trace_parser = sub.add_parser("trace", help=_SUMMARIES["trace"])
     trace_parser.add_argument(
         "--style", default=ReplicationStyle.ACTIVE.value,
         choices=[s.value for s in ReplicationStyle],
@@ -524,9 +629,8 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the export to a file "
                                    "instead of stdout")
 
-    observe_parser = sub.add_parser(
-        "observe", help="render a dependability journal "
-                        "(timeline, availability, fault cross-check)")
+    observe_parser = sub.add_parser("observe",
+                                    help=_SUMMARIES["observe"])
     observe_parser.add_argument("journal",
                                 help="journal JSONL file (from a "
                                      "campaign --journal run or "
@@ -542,9 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also write a self-contained HTML "
                                      "report to this path")
 
-    bench_parser = sub.add_parser(
-        "bench", help="run the performance suite; write canonical "
-                      "BENCH_<profile>.json artifacts")
+    from repro.bench import PROFILE_NAMES
+
+    bench_parser = sub.add_parser("bench", help=_SUMMARIES["bench"])
     bench_parser.add_argument("--quick", action="store_true",
                               help="CI-smoke sizing (seconds per "
                                    "profile instead of minutes)")
@@ -552,15 +656,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="directory for BENCH_*.json "
                                    "artifacts (default: cwd)")
     bench_parser.add_argument("--profile", action="append",
-                              choices=["kernel_events", "rtt", "campaign",
-                                       "check"],
+                              choices=list(PROFILE_NAMES),
                               help="run only this profile (repeatable; "
                                    "default: all)")
 
-    check_parser = sub.add_parser(
-        "check", help="explore schedule space and verify "
-                      "linearizability + protocol invariants; "
-                      "replay/minimize repro artifacts")
+    check_parser = sub.add_parser("check", help=_SUMMARIES["check"])
     mode = check_parser.add_mutually_exclusive_group()
     mode.add_argument("--explore", action="store_true",
                       help="explore schedules of the canonical "
@@ -591,9 +691,42 @@ def build_parser() -> argparse.ArgumentParser:
                               help="where to write the repro artifact "
                                    "(default repro_violation.json)")
 
-    sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
-    sub.add_parser("verify",
-                   help="self-check calibration + Table 2 pattern")
+    cluster_parser = sub.add_parser("cluster",
+                                    help=_SUMMARIES["cluster"])
+    cluster_sub = cluster_parser.add_subparsers(dest="action",
+                                                required=True)
+    summary_parser = cluster_sub.add_parser(
+        "summary", help="run a sharded closed-loop load and print "
+                        "per-shard rollups")
+    summary_parser.add_argument("--shards", type=int, default=4,
+                                help="shard count (default 4)")
+    summary_parser.add_argument("--clients", type=int, default=12,
+                                help="closed-loop clients (default 12)")
+    summary_parser.add_argument("--cycle", type=int, default=20,
+                                help="requests per client (default 20)")
+    route_parser = cluster_sub.add_parser(
+        "route", help="show which shard owns each key under the "
+                      "deterministic hash map")
+    route_parser.add_argument("keys", nargs="+",
+                              help="object key(s) to route")
+    route_parser.add_argument("--shards", type=int, default=4,
+                              help="shard count (default 4)")
+    rebalance_parser = cluster_sub.add_parser(
+        "rebalance", help="migrate keys under live traffic and verify "
+                          "no acked update is lost")
+    rebalance_parser.add_argument("--shards", type=int, default=2,
+                                  help="shard count (default 2)")
+    rebalance_parser.add_argument("--clients", type=int, default=2,
+                                  help="closed-loop clients (default 2)")
+    rebalance_parser.add_argument("--cycle", type=int, default=16,
+                                  help="requests per client (default 16)")
+    replay_parser = cluster_sub.add_parser(
+        "replay", help="render the cluster events (map changes, "
+                       "migrations) of a journal JSONL file")
+    replay_parser.add_argument("journal", help="journal JSONL file")
+
+    sub.add_parser("report", help=_SUMMARIES["report"])
+    sub.add_parser("verify", help=_SUMMARIES["verify"])
     return parser
 
 
@@ -601,6 +734,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "breakdown": _cmd_breakdown,
     "check": _cmd_check,
+    "cluster": _cmd_cluster,
     "profile": _cmd_profile,
     "policy": _cmd_policy,
     "adaptive": _cmd_adaptive,
@@ -611,9 +745,38 @@ _COMMANDS = {
     "verify": _cmd_verify,
 }
 
+#: Global options that consume a value; the unknown-command scan must
+#: skip their arguments to find the subcommand token.
+_VALUE_OPTIONS = ("--seed", "--requests")
+
+
+def _find_command(argv: List[str]) -> Optional[str]:
+    """The first positional token of ``argv`` (the subcommand), or
+    None when only options are present."""
+    skip = False
+    for token in argv:
+        if skip:
+            skip = False
+            continue
+        if token in _VALUE_OPTIONS:
+            skip = True
+            continue
+        if token.startswith("-"):
+            continue
+        return token
+    return None
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    command = _find_command(argv)
+    if command is not None and command not in _COMMANDS:
+        lines = [f"repro: unknown command {command!r}", "", "commands:"]
+        for name in sorted(_COMMANDS):
+            lines.append(f"  {name:10s} {_SUMMARIES[name]}")
+        print("\n".join(lines), file=sys.stderr)
+        return 2
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -33,6 +33,10 @@ class AdaptationError(ReproError):
     """A replication-style switch or adaptation action failed."""
 
 
+class ClusterError(ReproError):
+    """A sharding/partition-map operation failed."""
+
+
 class ContractViolation(ReproError):
     """A behavioural contract can no longer be honoured.
 

@@ -216,7 +216,7 @@ class GcsDaemon(Actor):
             # Host died with the client; remote daemons will detect it.
             return
         for group in sorted(joined):
-            self._submit_leave(group, member)
+            self._submit_leave(group, member, crashed=True)
 
     def client_join(self, group: str, member: MemberId) -> None:
         """Submit a join for a locally connected member."""
@@ -295,9 +295,11 @@ class GcsDaemon(Actor):
     def _new_msg_id(self) -> str:
         return f"{self.host.name}:{next(self._forward_ids)}"
 
-    def _submit_leave(self, group: str, member: MemberId) -> None:
+    def _submit_leave(self, group: str, member: MemberId,
+                      crashed: bool = False) -> None:
         msg_id = self._new_msg_id()
-        request = LeaveRequest(group=group, member=member, msg_id=msg_id)
+        request = LeaveRequest(group=group, member=member, msg_id=msg_id,
+                               crashed=crashed)
         self._pending_membership[msg_id] = request
         self._enqueue_or_run(lambda: self._route_to_sequencer(request))
 
@@ -404,7 +406,8 @@ class GcsDaemon(Actor):
                                              inner.member, inner.msg_id)
         elif isinstance(inner, LeaveRequest):
             self._sequencer_stamp_membership(StampKind.LEAVE, inner.group,
-                                             inner.member, inner.msg_id)
+                                             inner.member, inner.msg_id,
+                                             crashed=inner.crashed)
         elif isinstance(inner, Stamped):
             self._apply_stamp(inner)
         elif isinstance(inner, SafeAck):
@@ -474,11 +477,15 @@ class GcsDaemon(Actor):
         self._disseminate(stamp)
 
     def _sequencer_stamp_membership(self, kind: StampKind, group: str,
-                                    member: MemberId, msg_id: str) -> None:
+                                    member: MemberId, msg_id: str,
+                                    crashed: bool = False) -> None:
         if not self.is_sequencer:
-            request = (JoinRequest if kind is StampKind.JOIN
-                       else LeaveRequest)(group=group, member=member,
-                                          msg_id=msg_id)
+            if kind is StampKind.JOIN:
+                request: Any = JoinRequest(group=group, member=member,
+                                           msg_id=msg_id)
+            else:
+                request = LeaveRequest(group=group, member=member,
+                                       msg_id=msg_id, crashed=crashed)
             self._route_to_sequencer(request)
             return
         state = self._group(group)
@@ -491,7 +498,7 @@ class GcsDaemon(Actor):
             return
         seq = self._alloc_seq(group)
         stamp = Stamped(group=group, seq=seq, kind=kind, origin=member,
-                        msg_id=msg_id)
+                        msg_id=msg_id, crashed=crashed)
         self._disseminate(stamp)
 
     def _alloc_seq(self, group: str) -> int:
@@ -559,7 +566,8 @@ class GcsDaemon(Actor):
                                    left=[], crashed=False)
         elif stamp.kind is StampKind.LEAVE:
             self._apply_membership(state, stamp.group, joined=[],
-                                   left=[stamp.origin], crashed=False)
+                                   left=[stamp.origin],
+                                   crashed=stamp.crashed)
 
     def _apply_membership(self, state: _GroupState, group: str,
                           joined: List[MemberId], left: List[MemberId],

@@ -186,6 +186,7 @@ class Stamped(_CarriesTrace):
     payload_bytes: int = 0
     msg_id: str = ""
     safe: bool = False
+    crashed: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -215,9 +216,15 @@ class JoinRequest:
 
 @dataclass(frozen=True, slots=True)
 class LeaveRequest:
+    """``crashed`` distinguishes a failure-detected leave (a dead local
+    connection, as when Spread notices a client died) from a voluntary
+    one; the flag rides the totally-ordered stamp so every daemon
+    installs the same view with the same cause."""
+
     group: str
     member: MemberId
     msg_id: str
+    crashed: bool = False
 
 
 @dataclass(frozen=True, slots=True)

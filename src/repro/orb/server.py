@@ -9,7 +9,7 @@ state so the replication layer can checkpoint the *process* as a unit
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.errors import OrbError
 from repro.orb.accounting import COMPONENT_APPLICATION, COMPONENT_ORB
@@ -34,6 +34,11 @@ class OrbServer:
         self._started = False
         self.address: Optional[ServiceAddress] = None
         self.requests_served = 0
+        #: Optional lazy object adapter: :meth:`adopt_servant` uses it
+        #: to materialize servants for migrated keys that were never
+        #: registered here — including keys adopted with *no* state,
+        #: when the source shard died before any state transfer.
+        self.servant_factory: Optional[Callable[[str], Servant]] = None
 
     # ------------------------------------------------------------------
     # Object adapter
@@ -55,7 +60,9 @@ class OrbServer:
         """Start accepting requests; returns the service address."""
         if self._started:
             raise OrbError("server already started")
-        if not self._servants:
+        if not self._servants and self.servant_factory is None:
+            # A shard may legitimately own zero keys at deploy time if
+            # it has a factory to materialize migrated ones later.
             raise OrbError("no servants registered")
         self.address = self.transport.start(self._on_request)
         self._started = True
@@ -84,6 +91,52 @@ class OrbServer:
     @property
     def deterministic(self) -> bool:
         return all(s.deterministic for s in self._servants.values())
+
+    # ------------------------------------------------------------------
+    # Key-scoped state (for shard migration)
+    # ------------------------------------------------------------------
+    @property
+    def servant_keys(self) -> Tuple[str, ...]:
+        """The registered object keys, in registration order."""
+        return tuple(self._servants)
+
+    def capture_keys(self, keys: Iterable[str]) -> Tuple[Dict[str, Any],
+                                                         int]:
+        """Snapshot only the named servants; returns (state, bytes).
+        Unregistered keys are skipped — their state lives elsewhere."""
+        state: Dict[str, Any] = {}
+        total_bytes = 0
+        for key in keys:
+            servant = self._servants.get(key)
+            if servant is not None:
+                value, nbytes = servant.get_state()
+                state[key] = value
+                total_bytes += nbytes
+        return state, total_bytes
+
+    def adopt_servant(self, key: str, state: Any = None) -> bool:
+        """Take ownership of a migrated key: materialize a servant via
+        :attr:`servant_factory` (unless one is already registered) and
+        install ``state`` when given.  Returns False when no factory
+        exists and the key is unknown — the caller journals the miss."""
+        servant = self._servants.get(key)
+        if servant is None:
+            if self.servant_factory is None:
+                return False
+            servant = self.servant_factory(key)
+            self._servants[key] = servant
+        if state is not None:
+            servant.set_state(state)
+        return True
+
+    def drop_servants(self, keys: Iterable[str]) -> int:
+        """Deactivate the named servants (the source side of a shard
+        migration); returns how many were actually registered."""
+        dropped = 0
+        for key in keys:
+            if self._servants.pop(key, None) is not None:
+                dropped += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # Request processing

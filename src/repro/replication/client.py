@@ -22,7 +22,7 @@ Routing policy
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReplicationError
 from repro.gcs.client import GcsClient
@@ -114,6 +114,24 @@ class ClientReplicator(Actor, ClientTransport):
     def close(self) -> None:
         """Drop all outstanding invocations."""
         self._outstanding.clear()
+
+    def recall(self, predicate: Callable[[GiopRequest], bool]
+               ) -> List[Tuple[GiopRequest, ReplyHandler]]:
+        """Withdraw outstanding invocations matching ``predicate``.
+
+        Pops each matching entry and cancels its retry timer, so this
+        replicator stops re-sending it; the caller (the shard router,
+        after a partition-map flip) re-issues the invocation through
+        the group that now owns its key.  A reply already in flight
+        from the old group arrives as a harmless duplicate.
+        """
+        recalled: List[Tuple[GiopRequest, ReplyHandler]] = []
+        for request_id in [rid for rid, entry in self._outstanding.items()
+                           if predicate(entry.rep.request)]:
+            entry = self._outstanding.pop(request_id)
+            self.cancel_timer(f"retry:{request_id}")
+            recalled.append((entry.rep.request, entry.on_reply))
+        return recalled
 
     # ==================================================================
     # Transmission and retry

@@ -111,6 +111,27 @@ class SyncRequest:
 
 
 @dataclass(frozen=True)
+class Fence:
+    """Quiesce the group at one point of its request total order.
+
+    Multicast AGREED within a replica group by the shard-migration
+    machinery (:mod:`repro.cluster`): every replica pauses request
+    intake exactly at the fence's delivery position, so the state the
+    primary captures afterwards reflects the same request prefix on
+    every replica.  What happens at the fence is decided by the
+    replicator's pluggable fence handler; replicators without one
+    ignore the message.
+    """
+
+    fence_id: str
+    initiator: MemberId
+
+    @property
+    def wire_bytes(self) -> int:
+        return 56
+
+
+@dataclass(frozen=True)
 class SwitchCommand:
     """Step I of the Fig. 5 protocol: initiate a style switch.
 

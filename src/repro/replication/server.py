@@ -40,6 +40,7 @@ from repro.orb.giop import GiopReply, GiopRequest
 from repro.orb.transport import ReplyHandler, RequestHandler, ServerTransport, ServiceAddress
 from repro.replication.messages import (
     Checkpoint,
+    Fence,
     RepReply,
     RepRequest,
     SwitchCommand,
@@ -113,6 +114,13 @@ class ServerReplicator(Actor, ServerTransport):
         self.switch_history: List[SwitchRecord] = []
         # Joiner state transfer.
         self._synced = False
+        # Cluster seams (installed by repro.cluster's ShardAdmin; both
+        # stay None in non-sharded deployments, costing one comparison).
+        # fence_handler(fence) runs at the fence's total-order position
+        # with intake already paused; owned_filter(key) -> False drops
+        # requests for keys this shard no longer owns.
+        self.fence_handler: Optional[Callable[[Fence], None]] = None
+        self.owned_filter: Optional[Callable[[str], bool]] = None
         # Arrival-rate sensor (feeds the adaptation layer, Fig. 6).
         from repro.monitoring.sensors import RateSensor
         self.arrivals = RateSensor(window_us=500_000.0)
@@ -239,6 +247,8 @@ class ServerReplicator(Actor, ServerTransport):
             self._receive_checkpoint(payload)
         elif isinstance(payload, SwitchCommand):
             self._on_switch_command(payload)
+        elif isinstance(payload, Fence):
+            self._on_fence(payload)
 
     def _on_direct(self, sender: MemberId, payload: Any,
                    nbytes: int) -> None:
@@ -297,6 +307,14 @@ class ServerReplicator(Actor, ServerTransport):
     def _process(self, rep: RepRequest) -> None:
         request = rep.request
         req_id = request.request_id
+        if self.owned_filter is not None \
+                and not self.owned_filter(request.object_key):
+            # A request for a key this shard no longer owns (it raced
+            # a migration commit).  Stay silent: the client's retry
+            # goes through the router's fresh map to the new owner,
+            # whose transferred seen-cache keeps it at-most-once.
+            self._count("replicator_disowned_total")
+            return
         if req_id in self._seen:
             cached = self._seen[req_id]
             if cached is not None:
@@ -472,8 +490,7 @@ class ServerReplicator(Actor, ServerTransport):
         # Ship the completed reply cache with the snapshot: any request
         # whose effect is in this state must be suppressed (and its
         # cached reply resent) by whoever restores from it.
-        seen = tuple((rid, cached) for rid, cached in self._seen.items()
-                     if cached is not None)
+        seen = self.completed_seen()
         ckpt = Checkpoint(ckpt_id=self._ckpt_ids, state=state,
                           state_bytes=wire_state, source=self.member,
                           final_for=final_for, sync_for=sync_for,
@@ -631,6 +648,36 @@ class ServerReplicator(Actor, ServerTransport):
         else:
             if self.is_primary:
                 self._checkpoint(sync_for=request.joiner)
+
+    # ==================================================================
+    # Cluster fence and seen-cache transfer (repro.cluster seams)
+    # ==================================================================
+    def _on_fence(self, fence: Fence) -> None:
+        """A cluster fence reached its total-order position: pause
+        request intake here and hand control to the installed handler.
+        A replicator without a handler ignores the fence entirely —
+        stray fences in non-sharded groups are harmless."""
+        if self.fence_handler is None:
+            return
+        self._pause()
+        self._journal("fence", fence_id=fence.fence_id,
+                      initiator=str(fence.initiator))
+        self.fence_handler(fence)
+
+    def absorb_seen(self, entries) -> None:
+        """Install completed duplicate-suppression entries transferred
+        from another group (shard migration): a retry of a request the
+        old owner already acknowledged must be suppressed — and its
+        cached reply resent — by the new owner too."""
+        for rid, cached in entries:
+            self._remember(rid, cached)
+
+    def completed_seen(self) -> Tuple[Tuple[str, Any], ...]:
+        """Completed (answered) entries of the duplicate-suppression
+        cache, in insertion order — what checkpoints and migrations
+        ship alongside the state snapshot."""
+        return tuple((rid, cached) for rid, cached in self._seen.items()
+                     if cached is not None)
 
     # ==================================================================
     # Pause / drain machinery

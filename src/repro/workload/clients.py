@@ -10,7 +10,7 @@ follows a time-varying profile.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, TYPE_CHECKING
+from typing import Any, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.orb.giop import GiopReply
@@ -59,13 +59,20 @@ class ClosedLoopClient(Actor):
     def __init__(self, stack: "ClientStack", n_requests: int,
                  object_key: str = "counter", operation: str = "add",
                  payload: Any = 1, payload_bytes: int = 512,
-                 keep_timelines: bool = False):
+                 keep_timelines: bool = False,
+                 object_keys: Optional[Sequence[str]] = None):
         super().__init__(stack.process, name=f"load:{stack.process.name}")
         if n_requests < 1:
             raise ConfigurationError("n_requests must be >= 1")
+        if object_keys is not None and not object_keys:
+            raise ConfigurationError("object_keys must be non-empty")
         self.stack = stack
         self.n_requests = n_requests
         self.object_key = object_key
+        #: Optional round-robin key set: request *i* targets key
+        #: ``i mod len(object_keys)``.  Sharded workloads use this to
+        #: spread one client's cycle across every shard.
+        self.object_keys: Optional[Sequence[str]] = object_keys
         self.operation = operation
         self.payload = payload
         self.payload_bytes = payload_bytes
@@ -89,9 +96,12 @@ class ClosedLoopClient(Actor):
             self.trace("workload.done",
                        f"cycle of {self.n_requests} requests complete")
             return
+        key = self.object_key
+        if self.object_keys is not None:
+            key = self.object_keys[self.stats.sent % len(self.object_keys)]
         self.stats.sent += 1
         self.stack.orb_client.invoke(
-            self.object_key, self.operation, self.payload,
+            key, self.operation, self.payload,
             self.payload_bytes, self._on_reply)
 
     def _on_reply(self, reply: GiopReply) -> None:

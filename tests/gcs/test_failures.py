@@ -48,11 +48,19 @@ class TestProcessCrash:
         assert "after-death" not in listeners[0].payloads
         assert "after-death" in listeners[1].payloads
 
-    def test_view_change_not_marked_crashed_for_local_death(self, cluster):
+    def test_view_change_marked_crashed_for_local_death(self, cluster):
         clients, listeners = _joined(cluster, [("h1", "a"), ("h2", "b")])
         clients[0].process.kill()
         cluster.run(100_000)
-        # Local disconnects surface as voluntary leaves.
+        # A dead local connection is a detected failure (Spread's
+        # caused-by-disconnect membership), not a voluntary leave.
+        assert listeners[1].views[-1][2] is True
+
+    def test_voluntary_leave_not_marked_crashed(self, cluster):
+        clients, listeners = _joined(cluster, [("h1", "a"), ("h2", "b")])
+        clients[0].leave("grp")
+        cluster.run(100_000)
+        assert len(listeners[1].member_sets[-1]) == 1
         assert listeners[1].views[-1][2] is False
 
 

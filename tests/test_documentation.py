@@ -71,7 +71,7 @@ def test_promised_artifacts_exist():
                      "docs/architecture.md", "docs/calibration.md",
                      "docs/protocols.md", "docs/api.md",
                      "docs/campaigns.md", "docs/observability.md",
-                     "docs/verification.md",
+                     "docs/verification.md", "docs/scale.md",
                      "examples/quickstart.py",
                      "examples/adaptive_replication.py",
                      "examples/scalability_tuning.py",

@@ -50,9 +50,16 @@ def test_report_command(capsys):
     assert "Table 2" in out
 
 
-def test_unknown_command_rejected():
-    with pytest.raises(SystemExit):
-        main(["definitely-not-a-command"])
+def test_unknown_command_exits_2_with_listing(capsys):
+    assert main(["definitely-not-a-command"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown command 'definitely-not-a-command'" in err
+    # The listing names every subcommand with its one-line summary.
+    for name in ("breakdown", "profile", "policy", "adaptive",
+                 "campaign", "trace", "observe", "bench", "check",
+                 "cluster", "report", "verify"):
+        assert name in err
+    assert "sharded deployments" in err
 
 
 def test_verify_command_passes(capsys):
@@ -362,3 +369,75 @@ def test_campaign_check_flag_attaches_verdicts(tmp_path, capsys):
         verdict = record["metrics"]["check"]
         assert verdict["ok"] is True
         assert verdict["operations"] > 0
+
+
+def test_help_lists_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for name in ("breakdown", "profile", "policy", "adaptive",
+                 "campaign", "trace", "observe", "bench", "check",
+                 "cluster", "report", "verify"):
+        assert name in out
+
+
+def test_cluster_route_command(capsys):
+    assert main(["cluster", "route", "counter", "payments",
+                 "--shards", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "counter" in out and "payments" in out
+    assert "-> shard" in out
+
+
+def test_cluster_route_rejects_bad_shards(capsys):
+    assert main(["cluster", "route", "k", "--shards", "0"]) == 2
+    assert "--shards must be >= 1" in capsys.readouterr().err
+
+
+def test_cluster_summary_command(capsys):
+    assert main(["cluster", "summary", "--shards", "2",
+                 "--clients", "2", "--cycle", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "shard0" in out and "shard1" in out
+    assert "active" in out and "warm_passive" in out
+
+
+def test_cluster_rebalance_command(capsys):
+    assert main(["cluster", "rebalance", "--cycle", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "migration(s) committed" in out
+    assert "verdict: OK" in out
+
+
+def test_cluster_rebalance_rejects_single_shard(capsys):
+    assert main(["cluster", "rebalance", "--shards", "1"]) == 2
+    assert "--shards >= 2" in capsys.readouterr().err
+
+
+def test_cluster_replay_command(tmp_path, capsys):
+    from repro.cluster import run_cluster_rebalance_check
+    from repro.journal.io import write_jsonl
+
+    out_path = tmp_path / "cluster.journal.jsonl"
+    outcome = run_cluster_rebalance_check(n_requests=8)
+    write_jsonl(outcome.journal_events, str(out_path))
+    assert main(["cluster", "replay", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cluster event(s)" in out
+    assert "migrate.start" in out
+    assert "map" in out
+
+
+def test_cluster_replay_rejects_missing_file(tmp_path, capsys):
+    assert main(["cluster", "replay",
+                 str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_bench_profile_choices_include_cluster():
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--quick",
+                              "--profile", "cluster"])
+    assert args.profile == ["cluster"]
