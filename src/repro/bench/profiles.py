@@ -1,6 +1,6 @@
 """The fixed bench suite: calibrated performance profiles.
 
-Five profiles, each reporting wall-clock-grounded throughput numbers
+Six profiles, each reporting wall-clock-grounded throughput numbers
 plus peak RSS:
 
 - ``kernel_events`` — pure event-loop throughput: an event-chain
@@ -16,7 +16,10 @@ plus peak RSS:
 - ``check`` — the ``repro.check`` canonical scenario with and without
   verification, reporting the schedule-exploration overhead ratio;
 - ``cluster`` — the sharded closed-loop load at 1 vs. 4 shards on the
-  same host set, reporting the aggregate-throughput scaling factor.
+  same host set, reporting the aggregate-throughput scaling factor;
+- ``slo`` — the same sharded fault trial with and without the SLO
+  plane, asserting the journal bytes are identical (observation-only)
+  and reporting the post-hoc error-budget evaluation throughput.
 
 ``quick=True`` shrinks every workload to CI-smoke size (seconds, not
 minutes); the metric *names* are identical either way so baselines
@@ -308,12 +311,79 @@ def _check(quick: bool) -> BenchReport:
         metrics=metrics)
 
 
+# ---------------------------------------------------------------------------
+# slo: observability-plane overhead and evaluation throughput
+# ---------------------------------------------------------------------------
+
+def _slo(quick: bool) -> BenchReport:
+    """The SLO plane priced against the trial it observes.
+
+    The *baseline* run captures a sharded crash trial's journal with
+    no SLO evaluation; the *slo* run is the identical trial with the
+    per-shard error-budget/alert evaluation on.  The journal streams
+    must match byte for byte — the plane is post-hoc and observation-
+    only, so turning it on cannot perturb the simulation — and
+    ``slo_overhead_ratio`` is then pure evaluation cost.
+    ``events_per_sec`` is the re-evaluation throughput over the
+    captured stream (the ``repro slo`` CLI's hot path).
+    """
+    from repro.cluster import run_cluster_trial
+    from repro.journal.io import events_to_jsonl
+    from repro.replication import ReplicationStyle
+    from repro.slo import evaluate_slos
+
+    duration_us = 400_000.0 if quick else 1_500_000.0
+    n_rounds = 10 if quick else 50
+
+    def trial(slo: bool):
+        return run_cluster_trial(
+            style=ReplicationStyle.WARM_PASSIVE, n_shards=3,
+            n_clients=6, duration_us=duration_us, rate_per_s=200.0,
+            seed=1, fault_load="process_crash", journal=True, slo=slo)
+
+    base, base_wall = _timed(lambda: trial(False))
+    tagged, slo_wall = _timed(lambda: trial(True))
+    assert base.journal_events is not None
+    assert tagged.journal_events is not None
+    if (events_to_jsonl(base.journal_events)
+            != events_to_jsonl(tagged.journal_events)):
+        raise AssertionError(
+            "SLO evaluation must not perturb the journal")
+    assert tagged.slo is not None
+    events = tagged.journal_events
+
+    def eval_loop() -> int:
+        seen = 0
+        for _ in range(n_rounds):
+            evaluate_slos(events)
+            seen += len(events)
+        return seen
+
+    evaluated, eval_wall = _timed(eval_loop)
+    metrics = {
+        "events_per_sec": evaluated / max(eval_wall, 1e-9),
+        "slo_overhead_ratio": slo_wall / max(base_wall, 1e-9),
+        "journal_events": float(len(events)),
+        "budgets": float(tagged.slo["slos"]),
+        "alerts": float(tagged.slo["alerts"]),
+        "wall_s": base_wall + slo_wall + eval_wall,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return BenchReport(
+        profile="slo", quick=quick,
+        parameters={"n_shards": 3, "n_clients": 6,
+                    "duration_us": duration_us, "n_rounds": n_rounds,
+                    "fault_load": "process_crash"},
+        metrics=metrics)
+
+
 _PROFILES: Dict[str, Callable[[bool], BenchReport]] = {
     "kernel_events": _kernel_events,
     "rtt": _rtt,
     "campaign": _campaign,
     "check": _check,
     "cluster": _cluster,
+    "slo": _slo,
 }
 
 #: Names of the fixed suite, in run order.

@@ -48,7 +48,8 @@ ProgressFn = Callable[[int, int, Optional[TrialRecord]], None]
 def execute_trial(trial: TrialSpec,
                   telemetry: bool = False,
                   journal_dir: Optional[str] = None,
-                  check: bool = False) -> TrialRecord:
+                  check: bool = False,
+                  slo: bool = False) -> TrialRecord:
     """Run one trial in the current process and build its record.
 
     ``telemetry=True`` records spans during the trial and attaches the
@@ -59,7 +60,9 @@ def execute_trial(trial: TrialSpec,
     the journal digest (availability, MTTR, fault matching) to the
     record's metrics.  ``check=True`` verifies the trial's operation
     history and protocol invariants (:mod:`repro.check`) and attaches
-    the verdict.
+    the verdict.  ``slo=True`` evaluates the default SLO set
+    (:mod:`repro.slo`) over the trial's journal and attaches the
+    error-budget/alert verdict.
     """
     from repro.experiments.trial import run_fault_trial  # lazy: keeps
     # campaign importable without dragging the full stack in at startup
@@ -75,7 +78,7 @@ def execute_trial(trial: TrialSpec,
             deadline_us=trial.deadline_us, settle_us=trial.settle_us,
             fault_load=trial.fault_load,
             telemetry=telemetry, journal=journal_dir is not None,
-            check=check)
+            check=check, slo=slo)
     else:
         result = run_fault_trial(
             style=trial.replication_style, n_replicas=trial.n_replicas,
@@ -85,7 +88,7 @@ def execute_trial(trial: TrialSpec,
             deadline_us=trial.deadline_us, settle_us=trial.settle_us,
             inject=lambda ctx: compile_load(trial.fault_load, ctx),
             telemetry=telemetry, journal=journal_dir is not None,
-            check=check)
+            check=check, slo=slo)
     if journal_dir is not None and result.journal_events is not None:
         from repro.journal.io import write_jsonl
         os.makedirs(journal_dir, exist_ok=True)
@@ -104,7 +107,8 @@ def _failure_record(trial: TrialSpec, status: str,
 
 def _pool_worker(conn, telemetry: bool = False,
                  journal_dir: Optional[str] = None,
-                 check: bool = False) -> None:
+                 check: bool = False,
+                 slo: bool = False) -> None:
     """Persistent worker-process loop: run chunks of trials until told
     to stop.
 
@@ -129,7 +133,7 @@ def _pool_worker(conn, telemetry: bool = False,
                 try:
                     record = execute_trial(trial, telemetry=telemetry,
                                            journal_dir=journal_dir,
-                                           check=check)
+                                           check=check, slo=slo)
                     conn.send(("done", index, "ok", record.to_line()))
                 except BaseException:  # noqa: BLE001 - isolation is the point
                     conn.send(("done", index, "error",
@@ -188,7 +192,8 @@ class CampaignRunner:
                  progress: Optional[ProgressFn] = None,
                  telemetry: bool = False,
                  journal_dir: Optional[str] = None,
-                 check: bool = False):
+                 check: bool = False,
+                 slo: bool = False):
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if trial_timeout_s <= 0:
@@ -201,6 +206,7 @@ class CampaignRunner:
         self.telemetry = telemetry
         self.journal_dir = journal_dir
         self.check = check
+        self.slo = slo
 
     def run(self) -> CampaignSummary:
         """Run every not-yet-completed trial; returns the summary."""
@@ -232,7 +238,7 @@ class CampaignRunner:
             try:
                 record = execute_trial(trial, telemetry=self.telemetry,
                                        journal_dir=self.journal_dir,
-                                       check=self.check)
+                                       check=self.check, slo=self.slo)
             except Exception:  # crash isolation, in-process flavour
                 record = _failure_record(
                     trial, "failed", traceback.format_exc(limit=20))
@@ -304,7 +310,8 @@ class CampaignRunner:
         parent, child = ctx.Pipe(duplex=True)
         process = ctx.Process(
             target=_pool_worker,
-            args=(child, self.telemetry, self.journal_dir, self.check),
+            args=(child, self.telemetry, self.journal_dir, self.check,
+                  self.slo),
             daemon=True)
         process.start()
         child.close()
@@ -417,9 +424,11 @@ def run_campaign(spec: CampaignSpec, store: ResultsStore,
                  progress: Optional[ProgressFn] = None,
                  telemetry: bool = False,
                  journal_dir: Optional[str] = None,
-                 check: bool = False) -> CampaignSummary:
+                 check: bool = False,
+                 slo: bool = False) -> CampaignSummary:
     """Convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(spec, store, workers=workers,
                           trial_timeout_s=trial_timeout_s,
                           progress=progress, telemetry=telemetry,
-                          journal_dir=journal_dir, check=check).run()
+                          journal_dir=journal_dir, check=check,
+                          slo=slo).run()

@@ -202,8 +202,13 @@ def run_schedule(scenario: CheckScenario,
 
         testbed.sim.schedule_at(start + scenario.switch_at_us, fire_switch)
     if scenario.crash_primary_at_us is not None:
-        testbed.sim.schedule_at(start + scenario.crash_primary_at_us,
-                                replicas[0].process.kill, "injected")
+        # Through the injector (not a raw kill) so the journal carries
+        # the fault.inject ground truth the availability accounting
+        # and the SLO fault/alert cross-check match against.
+        from repro.faults import FaultInjector
+        injector = FaultInjector(testbed.sim, testbed.network)
+        injector.crash_process_at(replicas[0].process,
+                                  start + scenario.crash_primary_at_us)
     next_request(scenario.n_requests)
     testbed.run(scenario.horizon_us)
 

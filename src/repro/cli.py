@@ -15,6 +15,8 @@
   protocol invariants; replay/minimize repro artifacts
 - ``cluster``   — sharded deployments: summary, key routing, live
   rebalance check, journal replay
+- ``slo``       — per-shard error budgets, burn-rate alerts, and the
+  fault/alert cross-check over a captured journal
 """
 
 from __future__ import annotations
@@ -53,6 +55,8 @@ _SUMMARIES = {
              "protocol invariants; replay/minimize repro artifacts",
     "cluster": "sharded deployments: summary, key routing, live "
                "rebalance check, journal replay",
+    "slo": "per-shard SLO error budgets, burn-rate alerts, and the "
+           "fault/alert cross-check over a captured journal",
     "report": "regenerate EXPERIMENTS.md on stdout",
     "verify": "self-check calibration + Table 2 pattern",
 }
@@ -178,7 +182,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                progress=progress,
                                telemetry=args.telemetry,
                                journal_dir=args.journal,
-                               check=args.check)
+                               check=args.check, slo=args.slo)
     except ConfigurationError as exc:
         return _usage_error("campaign", str(exc))
     print(f"ran {summary.ran}, skipped {summary.skipped} "
@@ -198,6 +202,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
               f"{len(verdict.get('violations', []))} violation(s), "
               f"linearizable={verdict.get('linearizable')}",
               file=sys.stderr)
+    # SLO breaches are campaign *data* (a fault load exhausting a
+    # budget is the expected outcome), but a fault/alert cross-check
+    # inconsistency means the alerting itself misfired — that fails.
+    slo_failures = []
+    if args.slo:
+        breached = 0
+        for record in records:
+            verdict = record.metrics.get("slo", {})
+            breached += int(verdict.get("breached", 0))
+            if not verdict.get("cross_check", {}).get("ok", True):
+                slo_failures.append(record)
+                print(f"SLO CROSS-CHECK FAILED {record.trial_id}: "
+                      f"budget-exhausting fault without exactly one "
+                      f"alert", file=sys.stderr)
+        print(f"slo: {breached} budget breach(es) across "
+              f"{len(records)} trial(s), "
+              f"{len(slo_failures)} cross-check failure(s)")
     scores = aggregate_scores(records)
     print()
     print(render_scores(scores))
@@ -211,7 +232,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         with open(args.markdown, "w") as handle:
             write_markdown(spec, scores, out=handle)
         print(f"wrote {args.markdown}")
-    return 0 if summary.failed == 0 and not check_failures else 1
+    return (0 if summary.failed == 0 and not check_failures
+            and not slo_failures else 1)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -361,7 +383,7 @@ def _write_check_artifact(artifact, out: str, write_artifact) -> None:
 
 def _cmd_observe(args: argparse.Namespace) -> int:
     """Render a dependability journal captured as JSONL."""
-    from repro.journal import read_jsonl
+    from repro.journal import discover_shards, event_shard, read_jsonl
     from repro.tools import journal_html, journal_summary, render_journal
 
     if args.limit is not None and args.limit < 1:
@@ -371,6 +393,14 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         return _usage_error(
             "observe", f"cannot read {args.journal}: {exc}")
+    if args.shard:
+        shards = discover_shards(events)
+        if args.shard not in shards:
+            return _usage_error(
+                "observe", f"unknown shard {args.shard!r} "
+                           f"(journal has: {', '.join(shards) or 'none'})")
+        events = [e for e in events
+                  if event_shard(e, shards) == args.shard]
     if not events:
         print(f"observe: {args.journal} holds no events",
               file=sys.stderr)
@@ -496,6 +526,49 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate SLOs over a captured journal (status/alerts/report)."""
+    from repro.journal import read_jsonl
+    from repro.slo import (
+        default_slo_specs,
+        evaluate_slos,
+        load_slo_specs,
+        slo_alerts,
+        slo_html,
+        slo_report,
+        slo_status,
+    )
+
+    try:
+        events = read_jsonl(args.journal)
+    except (OSError, ValueError) as exc:
+        return _usage_error("slo", f"cannot read {args.journal}: {exc}")
+    if not events:
+        print(f"slo: {args.journal} holds no events", file=sys.stderr)
+        return 1
+    if args.spec:
+        try:
+            specs = load_slo_specs(args.spec)
+        except (ConfigurationError, OSError, ValueError) as exc:
+            return _usage_error("slo", f"bad spec {args.spec}: {exc}")
+    else:
+        specs = default_slo_specs()
+    outcome = evaluate_slos(events, specs)
+
+    if args.action == "alerts":
+        print(slo_alerts(outcome))
+    elif args.action == "report":
+        print(slo_report(events, outcome))
+    else:  # status
+        print(slo_status(outcome))
+    html = getattr(args, "html", None)
+    if html:
+        with open(html, "w") as handle:
+            handle.write(slo_html(outcome, title=args.journal))
+        print(f"\nwrote {html}")
+    return 0 if outcome.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
     write_report(sys.stdout, n_requests=args.requests, seed=args.seed)
@@ -610,6 +683,12 @@ def build_parser() -> argparse.ArgumentParser:
                                       "protocol invariants; attach the "
                                       "verdict to the records and fail "
                                       "the campaign on violations")
+    campaign_parser.add_argument("--slo", action="store_true",
+                                 help="evaluate per-shard SLO error "
+                                      "budgets and burn-rate alerts for "
+                                      "each trial; attach the verdict to "
+                                      "the records and fail the campaign "
+                                      "on fault/alert inconsistency")
 
     trace_parser = sub.add_parser("trace", help=_SUMMARIES["trace"])
     trace_parser.add_argument(
@@ -638,6 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
     observe_parser.add_argument("--kind",
                                 help="only show events of this kind "
                                      "(exact or prefix, e.g. 'switch')")
+    observe_parser.add_argument("--shard",
+                                help="only show events attributed to "
+                                     "this shard (replica group)")
     observe_parser.add_argument("--limit", type=int,
                                 help="cap the timeline at N events")
     observe_parser.add_argument("--no-timeline", action="store_true",
@@ -725,6 +807,27 @@ def build_parser() -> argparse.ArgumentParser:
                        "migrations) of a journal JSONL file")
     replay_parser.add_argument("journal", help="journal JSONL file")
 
+    slo_parser = sub.add_parser("slo", help=_SUMMARIES["slo"])
+    slo_sub = slo_parser.add_subparsers(dest="action", required=True)
+    slo_status_parser = slo_sub.add_parser(
+        "status", help="per-shard error-budget table")
+    slo_alerts_parser = slo_sub.add_parser(
+        "alerts", help="burn-rate alert log")
+    slo_report_parser = slo_sub.add_parser(
+        "report", help="status + alerts + fault/alert cross-check")
+    for action_parser in (slo_status_parser, slo_alerts_parser,
+                          slo_report_parser):
+        action_parser.add_argument(
+            "journal", help="journal JSONL file (from a campaign "
+                            "--journal run or write_jsonl)")
+        action_parser.add_argument(
+            "--spec", help="SLO spec JSON file (default: the built-in "
+                           "three-nines availability objective)")
+    for action_parser in (slo_status_parser, slo_report_parser):
+        action_parser.add_argument(
+            "--html", help="also write the self-contained HTML fleet "
+                           "panel to this path")
+
     sub.add_parser("report", help=_SUMMARIES["report"])
     sub.add_parser("verify", help=_SUMMARIES["verify"])
     return parser
@@ -741,6 +844,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "observe": _cmd_observe,
     "report": _cmd_report,
+    "slo": _cmd_slo,
     "trace": _cmd_trace,
     "verify": _cmd_verify,
 }

@@ -137,7 +137,8 @@ class ClusterCoordinator(Actor):
             state_lost=planned.state_lost)
         self.gcs.multicast(control_group(self.cluster), start,
                            start.wire_bytes, grade=Grade.AGREED)
-        self._journal("migrate.start", migration_id=planned.migration_id,
+        self._journal("migrate.start", shard=planned.src,
+                      migration_id=planned.migration_id,
                       src=planned.src, dst=planned.dst,
                       keys=len(planned.keys),
                       state_lost=planned.state_lost)
@@ -172,7 +173,8 @@ class ClusterCoordinator(Actor):
                            map_digest=planned.new_map.digest())
         self.gcs.multicast(control_group(self.cluster), commit,
                            commit.wire_bytes, grade=Grade.AGREED)
-        self._journal("map", migration_id=planned.migration_id,
+        self._journal("map", shard=planned.src,
+                      migration_id=planned.migration_id,
                       epoch=planned.new_map.epoch,
                       digest=planned.new_map.digest())
 
@@ -184,12 +186,13 @@ class ClusterCoordinator(Actor):
         """True when no migration is in flight or queued."""
         return self._inflight is None and not self._queue
 
-    def _journal(self, kind: str, **attrs) -> None:
+    def _journal(self, kind: str, shard: Optional[str] = None,
+                 **attrs) -> None:
         """Record a cluster event (no-op when the journal is off)."""
         journal = self.sim.journal
         if journal.enabled:
             journal.record(self.sim.now, self.process.host.name,
-                           "cluster", f"coord.{kind}",
+                           "cluster", f"coord.{kind}", shard=shard,
                            process=self.process.name, **attrs)
 
 

@@ -187,6 +187,9 @@ def deploy_cluster(testbed: Testbed, specs: Sequence[ShardSpec],
                 replication_cal=testbed.calibration.replication,
                 interpose_cal=testbed.calibration.interpose,
                 store=testbed.store)
+            # Per-shard attribution: journal events and latency
+            # histograms from this replica carry the shard name.
+            replicator.shard = spec.name
             orb_server = OrbServer(process, replicator,
                                    calibration=testbed.calibration.orb)
             orb_server.servant_factory = servant_factory

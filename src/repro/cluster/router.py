@@ -34,6 +34,7 @@ from repro.replication.messages import RepReply
 from repro.replication.styles import ClientReplicationConfig
 from repro.sim.actor import Actor
 from repro.sim.config import InterposeCalibration
+from repro.telemetry.context import context_of, set_context
 
 
 def control_group(cluster: str) -> str:
@@ -69,9 +70,11 @@ class ShardRouter(Actor, ClientTransport):
         # the owning replicator itself.
         self._replicators: Dict[str, ClientReplicator] = {}
         for shard in pmap.shards:
-            self._replicators[shard] = ClientReplicator(
+            replicator = ClientReplicator(
                 gcs, configs[shard], interpose_cal=interpose_cal,
                 on_failure=self._make_failure_hook(shard))
+            replicator.shard = shard
+            self._replicators[shard] = replicator
         gcs.on_direct(self._on_direct)
         gcs.join(control_group(cluster),
                  CallbackListener(on_message=self._on_control))
@@ -120,6 +123,19 @@ class ShardRouter(Actor, ClientTransport):
                   on_reply: ReplyHandler) -> None:
         if not request.oneway:
             self._routes[request.request_id] = shard
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            ctx = context_of(request)
+            if ctx is not None:
+                # Zero-width charged span: the routing decision itself
+                # costs no simulated time, but the span pins the shard
+                # (and epoch) onto the trace so cross-shard stitching
+                # can see every hop of a re-routed request.
+                telemetry.emit(ctx.at_root(), "router.route", "router",
+                               self.sim.now, self.sim.now,
+                               host=self.process.host.name,
+                               process=self.process.name,
+                               shard=shard, epoch=self.map.epoch)
         self._replicators[shard].send_request(request, on_reply)
 
     # ==================================================================
@@ -159,6 +175,7 @@ class ShardRouter(Actor, ClientTransport):
                            "cluster", "router.map",
                            process=self.process.name,
                            epoch=new_map.epoch, digest=new_map.digest())
+        telemetry = self.sim.telemetry
         for shard, replicator in self._replicators.items():
             recalled = replicator.recall(
                 lambda req, _shard=shard:
@@ -167,8 +184,32 @@ class ShardRouter(Actor, ClientTransport):
                 # ``on_reply`` is the already-wrapped routed handler,
                 # so dispatching directly avoids double wrapping.
                 self.rerouted += 1
-                self._dispatch(new_map.owner_of(request.object_key),
-                               request, on_reply)
+                owner = new_map.owner_of(request.object_key)
+                if journal.enabled:
+                    journal.record(self.sim.now,
+                                   self.process.host.name,
+                                   "cluster", "router.reroute",
+                                   shard=owner,
+                                   process=self.process.name,
+                                   request_id=request.request_id,
+                                   from_shard=shard,
+                                   epoch=new_map.epoch)
+                if telemetry.enabled:
+                    ctx = context_of(request)
+                    if ctx is not None:
+                        # Re-root the carried context so the new
+                        # owner's spans hang off the original client
+                        # request — one stitched trace across the map
+                        # flip, not a trace per shard attempt.
+                        ctx = ctx.at_root()
+                        set_context(request, ctx)
+                        telemetry.emit(ctx, "router.reroute", "router",
+                                       self.sim.now, self.sim.now,
+                                       host=self.process.host.name,
+                                       process=self.process.name,
+                                       shard=owner, from_shard=shard,
+                                       epoch=new_map.epoch)
+                self._dispatch(owner, request, on_reply)
 
     # ==================================================================
     # Introspection

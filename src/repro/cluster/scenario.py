@@ -397,7 +397,8 @@ def run_cluster_trial(style: ReplicationStyle, n_shards: int,
                       calibration: Optional[SubstrateCalibration] = None,
                       telemetry: bool = False,
                       journal: bool = False,
-                      check: bool = False):
+                      check: bool = False,
+                      slo: bool = False):
     """One open-loop campaign trial against a sharded deployment.
 
     Mirrors :func:`repro.experiments.trial.run_fault_trial` — same
@@ -416,7 +417,7 @@ def run_cluster_trial(style: ReplicationStyle, n_shards: int,
             f"'process_crash', not {fault_load!r}")
     if n_shards < 2:
         raise ClusterError("a cluster trial needs >= 2 shards")
-    if check:
+    if check or slo:
         journal = True
     calibration = _enable(calibration, telemetry, journal)
     n_server_hosts = n_shards + 1
@@ -536,6 +537,15 @@ def run_cluster_trial(style: ReplicationStyle, n_shards: int,
                 testbed.sim.journal.truncated_rings()),
         }
 
+    slo_digest = None
+    if slo:
+        assert journal_events is not None
+        from repro.experiments.trial import slo_trial_digest
+        slo_digest = slo_trial_digest(
+            journal_events, window_start_us=start,
+            window_end_us=window_end,
+            registry=getattr(testbed.sim.telemetry, "metrics", None))
+
     return FaultTrialResult(
         style=style, n_replicas=2, n_clients=n_clients,
         duration_us=duration_us, sent=sent, completed=completed,
@@ -547,4 +557,5 @@ def run_cluster_trial(style: ReplicationStyle, n_shards: int,
         bandwidth_mbps=wire_bytes / elapsed if elapsed > 0 else 0.0,
         wire_bytes=wire_bytes, injected=list(injector.injected),
         telemetry=telemetry_digest, journal=journal_summary,
-        journal_events=journal_events, check=check_digest)
+        journal_events=journal_events, check=check_digest,
+        slo=slo_digest)

@@ -121,6 +121,10 @@ class FaultTrialResult:
     #: trial ran with ``check=True``; None otherwise — same
     #: byte-identical guarantee as telemetry/journal.
     check: Optional[Dict[str, object]] = None
+    #: SLO evaluation (``repro.slo``) when the trial ran with
+    #: ``slo=True``: per-shard budget verdict + ledger; None otherwise
+    #: — same byte-identical guarantee as telemetry/journal/check.
+    slo: Optional[Dict[str, object]] = None
 
     @property
     def failed_fraction(self) -> float:
@@ -156,6 +160,8 @@ class FaultTrialResult:
                if self.journal is not None else {}),
             **({"check": self.check}
                if self.check is not None else {}),
+            **({"slo": self.slo}
+               if self.slo is not None else {}),
         }
 
 
@@ -174,7 +180,8 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
                     calibration: Optional[SubstrateCalibration] = None,
                     telemetry: bool = False,
                     journal: bool = False,
-                    check: bool = False) -> FaultTrialResult:
+                    check: bool = False,
+                    slo: bool = False) -> FaultTrialResult:
     """Run one open-loop load window with an optional fault load.
 
     ``inject`` receives a :class:`TrialContext` after warm-up and may
@@ -188,6 +195,10 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
     ``check=True`` records the client-observed operation history and
     runs the :mod:`repro.check` verifiers over it and the journal
     (which it forces on), attaching the verdict to the result.
+
+    ``slo=True`` evaluates the default SLO set (:mod:`repro.slo`)
+    against the journal (also forced on) and attaches the error-budget
+    ledger, alerts and fault/alert cross-check to the result.
     """
     if n_replicas < 1:
         raise ConfigurationError("trial needs at least one replica")
@@ -200,8 +211,8 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
     if deadline_us <= 0:
         raise ConfigurationError("deadline must be positive")
 
-    if check:
-        journal = True  # the invariant monitors read journal events
+    if check or slo:
+        journal = True  # both verdicts are computed from journal events
     if telemetry or journal:
         from dataclasses import replace
         from repro.sim import default_calibration
@@ -317,6 +328,14 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
                 testbed.sim.journal.truncated_rings()),
         }
 
+    slo_digest = None
+    if slo:
+        assert journal_events is not None
+        slo_digest = slo_trial_digest(
+            journal_events, window_start_us=start,
+            window_end_us=window_end,
+            registry=getattr(testbed.sim.telemetry, "metrics", None))
+
     return FaultTrialResult(
         style=style, n_replicas=n_replicas, n_clients=n_clients,
         duration_us=duration_us, sent=sent, completed=completed,
@@ -328,4 +347,34 @@ def run_fault_trial(style: ReplicationStyle, n_replicas: int,
         bandwidth_mbps=wire_bytes / elapsed if elapsed > 0 else 0.0,
         wire_bytes=wire_bytes, injected=list(injector.injected),
         telemetry=telemetry_digest, journal=journal_summary,
-        journal_events=journal_events, check=check_digest)
+        journal_events=journal_events, check=check_digest,
+        slo=slo_digest)
+
+
+def slo_trial_digest(journal_events, window_start_us: float,
+                     window_end_us: float,
+                     registry=None) -> Dict[str, object]:
+    """Evaluate the default SLO set over one trial's journal.
+
+    The JSON-ready digest a ``--slo`` campaign attaches to each trial
+    record: verdict counters, the full per-shard budget ledger, every
+    burn-rate alert, and the fault/alert consistency cross-check —
+    deterministic, so serial and parallel campaign runs serialize it
+    byte-identically.
+    """
+    from repro.slo import evaluate_slos, match_fault_alerts
+    outcome = evaluate_slos(journal_events,
+                            window_start_us=window_start_us,
+                            window_end_us=window_end_us,
+                            registry=registry)
+    matches = match_fault_alerts(journal_events, outcome)
+    return {
+        **outcome.verdict(),
+        "budgets": [b.to_dict() for b in outcome.budgets],
+        "alert_log": [a.to_dict() for a in outcome.alerts],
+        "cross_check": {
+            "faults": len(matches),
+            "consistent": sum(1 for m in matches if m.ok),
+            "ok": all(m.ok for m in matches),
+        },
+    }

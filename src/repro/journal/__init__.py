@@ -28,7 +28,10 @@ from repro.journal.availability import (
     AvailabilityWindow,
     FaultMatch,
     availability_report,
+    discover_shards,
+    event_shard,
     match_faults,
+    per_shard_reports,
     switch_windows,
 )
 from repro.journal.events import ADAPTATION_DECISION, Journal, JournalEvent
@@ -51,11 +54,14 @@ __all__ = [
     "JournalEvent",
     "OUTAGE_FAULTS",
     "availability_report",
+    "discover_shards",
+    "event_shard",
     "event_to_line",
     "events_to_jsonl",
     "journal_digest",
     "match_faults",
     "parse_jsonl",
+    "per_shard_reports",
     "read_jsonl",
     "switch_windows",
     "write_jsonl",

@@ -218,11 +218,15 @@ def availability_report(events: Sequence[JournalEvent],
         if fault.attrs.get("fault") not in OUTAGE_FAULTS:
             continue
         at = float(fault.attrs.get("at_us", fault.time_us))
-        if at >= end:
+        recovered = _recovery_time(ordered, fault, end)
+        lo, hi = max(at, start), min(recovered, end)
+        if hi <= lo and not start <= at < end:
+            # The outage lies wholly outside the observation window
+            # (fired after it, or recovered before it): billing it as
+            # an outage with zero downtime would skew MTTR/MTTF.
             continue
         n_outages += 1
-        recovered = _recovery_time(ordered, fault, end)
-        down.append((max(at, start), min(recovered, end)))
+        down.append((lo, hi))
     down = _merge(down)
 
     degraded = _merge([(max(s, start), min(e, end))
@@ -278,6 +282,77 @@ def availability_report(events: Sequence[JournalEvent],
         degraded_us=sum(e - s for s, e in degraded),
         n_outages=n_outages,
         false_positives=false_positives)
+
+
+def discover_shards(events: Sequence[JournalEvent]) -> Tuple[str, ...]:
+    """Service units seen in the stream, sorted.
+
+    A "shard" here is one replica group: explicit ``shard`` tags from
+    cluster emitters, plus any group named by membership events — so a
+    single-group deployment folds into exactly one unit (its group
+    name) and pre-shard journals still attribute cleanly.  Control
+    groups (``*.ctl``) are infrastructure, not service units.
+    """
+    shards = set()
+    for event in events:
+        if event.shard is not None:
+            shards.add(event.shard)
+        group = event.attrs.get("group")
+        if isinstance(group, str) and group \
+                and not group.endswith(".ctl"):
+            shards.add(group)
+    return tuple(sorted(shards))
+
+
+def event_shard(event: JournalEvent,
+                shards: Sequence[str]) -> Optional[str]:
+    """Attribute one event to a shard; None means fleet-level.
+
+    Priority: the first-class ``shard`` field (cluster emitters), then
+    a ``group`` attr naming a known shard (GCS membership), then a
+    ``process`` or fault ``target`` attr with the shard's replica
+    prefix (``{shard}-...``, the deterministic deployment naming).
+    """
+    if event.shard is not None:
+        return event.shard
+    group = event.attrs.get("group")
+    if isinstance(group, str) and group in shards:
+        return group
+    for attr in ("process", "target"):
+        name = event.attrs.get(attr)
+        if not isinstance(name, str):
+            continue
+        for shard in shards:
+            if name == shard or name.startswith(shard + "-"):
+                return shard
+    return None
+
+
+def per_shard_reports(events: Sequence[JournalEvent],
+                      window_start_us: Optional[float] = None,
+                      window_end_us: Optional[float] = None,
+                      shards: Optional[Sequence[str]] = None
+                      ) -> Dict[str, AvailabilityReport]:
+    """Fold the journal into one availability report per shard.
+
+    Each shard's report sees only the events attributed to it, so a
+    crash in one replica group bills downtime to that shard alone —
+    the per-shard MTTR/MTTF the SLO engine budgets against.  Events
+    that attribute to no shard (coordinator map commits, router
+    flips) stay fleet-level and appear in no per-shard report.
+    """
+    ordered = sorted(events, key=lambda e: (e.time_us, e.seq))
+    universe = (tuple(shards) if shards is not None
+                else discover_shards(ordered))
+    attributed: Dict[str, List[JournalEvent]] = {s: [] for s in universe}
+    for event in ordered:
+        shard = event_shard(event, universe)
+        if shard is not None and shard in attributed:
+            attributed[shard].append(event)
+    return {shard: availability_report(
+                attributed[shard], window_start_us=window_start_us,
+                window_end_us=window_end_us)
+            for shard in universe}
 
 
 def match_faults(events: Sequence[JournalEvent],

@@ -47,7 +47,10 @@ class JournalEvent:
     ``attrs`` carries the kind-specific payload (switch ids, member
     lists, fault parameters, ...); ``trace_id`` links the event to a
     telemetry trace when both layers are on (e.g. a switch event to
-    its Fig. 5 switch trace).
+    its Fig. 5 switch trace); ``shard`` attributes the event to one
+    replica group in a sharded cluster (``None`` outside clusters, and
+    omitted from the JSON form so pre-shard artifacts stay
+    byte-identical).
     """
 
     seq: int
@@ -57,9 +60,10 @@ class JournalEvent:
     kind: str
     attrs: Dict[str, Any] = field(default_factory=dict)
     trace_id: Optional[int] = None
+    shard: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready dict (``trace_id`` omitted when absent)."""
+        """JSON-ready dict (``trace_id``/``shard`` omitted when absent)."""
         out: Dict[str, Any] = {
             "seq": self.seq,
             "t_us": self.time_us,
@@ -70,6 +74,8 @@ class JournalEvent:
         }
         if self.trace_id is not None:
             out["trace_id"] = self.trace_id
+        if self.shard is not None:
+            out["shard"] = self.shard
         return out
 
     @classmethod
@@ -80,7 +86,8 @@ class JournalEvent:
                    component=str(data["component"]),
                    kind=str(data["kind"]),
                    attrs=dict(data.get("attrs", {})),
-                   trace_id=data.get("trace_id"))
+                   trace_id=data.get("trace_id"),
+                   shard=data.get("shard"))
 
     def __str__(self) -> str:
         extra = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
@@ -125,6 +132,7 @@ class Journal:
     # ------------------------------------------------------------------
     def record(self, time_us: float, host: str, component: str,
                kind: str, trace_id: Optional[int] = None,
+               shard: Optional[str] = None,
                **attrs: Any) -> Optional[JournalEvent]:
         """Append one event; returns it (or None when dropped/merged).
 
@@ -153,7 +161,8 @@ class Journal:
             return None
         event = JournalEvent(seq=self._seq, time_us=time_us, host=host,
                              component=component, kind=kind,
-                             attrs=dict(attrs), trace_id=trace_id)
+                             attrs=dict(attrs), trace_id=trace_id,
+                             shard=shard)
         self._seq += 1
         self.events.append(event)
         ring = self._rings.get(host)

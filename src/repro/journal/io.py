@@ -12,7 +12,11 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.journal.availability import availability_report, match_faults
+from repro.journal.availability import (
+    availability_report,
+    match_faults,
+    per_shard_reports,
+)
 from repro.journal.events import JournalEvent
 
 
@@ -81,7 +85,26 @@ def journal_digest(journal: Any,
     report = availability_report(events, window_start_us=window_start_us,
                                  window_end_us=window_end_us)
     matches = match_faults(events)
+    # Per-shard rollup only for journals with shard-tagged events
+    # (cluster deployments): single-group digests keep their exact
+    # pre-shard shape.
+    tagged = tuple(sorted({e.shard for e in events
+                           if e.shard is not None}))
+    per_shard: Dict[str, Any] = {}
+    if tagged:
+        for shard, rep in per_shard_reports(
+                events, window_start_us=window_start_us,
+                window_end_us=window_end_us, shards=tagged).items():
+            per_shard[shard] = {
+                "availability": rep.availability,
+                "degraded_fraction": rep.degraded_fraction,
+                "downtime_us": rep.downtime_us,
+                "mttr_us": rep.mttr_us,
+                "mttf_us": rep.mttf_us,
+                "outages": rep.n_outages,
+            }
     return {
+        **({"per_shard": per_shard} if per_shard else {}),
         "events": len(events),
         "dropped": journal.dropped,
         "truncated_rings": dict(journal.truncated_rings()),

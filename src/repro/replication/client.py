@@ -65,6 +65,10 @@ class ClientReplicator(Actor, ClientTransport):
         self.config = config
         self.ical = interpose_cal or InterposeCalibration()
         self.group = config.group
+        # Shard attribution (set by the shard router in sharded
+        # deployments): journal events and the round-trip latency
+        # histogram carry the shard name when set.
+        self.shard: Optional[str] = None
         self.style: ReplicationStyle = config.expected_style
         self.primary: Optional[MemberId] = None
         self.broadcast = False
@@ -197,6 +201,7 @@ class ClientReplicator(Actor, ClientTransport):
             if journal.enabled:
                 journal.record(self.sim.now, self.process.host.name,
                                "replicator", "client.giveup",
+                               shard=self.shard,
                                process=self.process.name,
                                request_id=request_id,
                                attempts=entry.attempts)
@@ -285,9 +290,13 @@ class ClientReplicator(Actor, ClientTransport):
         registry = getattr(self.sim.telemetry, "metrics", None)
         if registry is None:
             return None
+        labels = {"host": self.process.host.name,
+                  "process": self.process.name}
+        if self.shard is not None:
+            labels["shard"] = self.shard
         return registry.histogram(
             "request_latency_us", bounds=DEFAULT_LATENCY_BUCKETS_US,
-            host=self.process.host.name, process=self.process.name)
+            **labels)
 
     # ==================================================================
     # Group view tracking

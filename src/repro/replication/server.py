@@ -121,6 +121,9 @@ class ServerReplicator(Actor, ServerTransport):
         # requests for keys this shard no longer owns.
         self.fence_handler: Optional[Callable[[Fence], None]] = None
         self.owned_filter: Optional[Callable[[str], bool]] = None
+        # Shard attribution (set by repro.cluster's deploy): journal
+        # events and metric labels carry the shard name when set.
+        self.shard: Optional[str] = None
         # Arrival-rate sensor (feeds the adaptation layer, Fig. 6).
         from repro.monitoring.sensors import RateSensor
         self.arrivals = RateSensor(window_us=500_000.0)
@@ -140,8 +143,11 @@ class ServerReplicator(Actor, ServerTransport):
         return getattr(self.sim.telemetry, "metrics", None)
 
     def _labels(self) -> Dict[str, str]:
-        return {"host": self.process.host.name,
-                "process": self.process.name}
+        labels = {"host": self.process.host.name,
+                  "process": self.process.name}
+        if self.shard is not None:
+            labels["shard"] = self.shard
+        return labels
 
     def _count(self, name: str, amount: int = 1) -> None:
         registry = self._registry()
@@ -166,6 +172,7 @@ class ServerReplicator(Actor, ServerTransport):
         if journal.enabled:
             journal.record(self.sim.now, self.process.host.name,
                            "replicator", kind, trace_id=trace_id,
+                           shard=self.shard,
                            process=self.process.name, **attrs)
 
     # ==================================================================

@@ -1,0 +1,102 @@
+"""Fault/alert cross-check: ground truth vs the alerting plane.
+
+The same discipline :func:`repro.journal.availability.match_faults`
+applies to detection, applied one layer up: for every injected outage
+fault the journal attributes to a shard, if that shard's error budget
+ran dry then the burn-rate engine must have produced **exactly one**
+alert covering the fault — zero means the pager stayed silent through
+a budget-exhausting outage, two or more means one incident pages
+twice.  Faults that stay inside budget must page zero times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.journal.availability import (
+    DEFAULT_DETECTION_SLACK_US,
+    OUTAGE_FAULTS,
+    discover_shards,
+    event_shard,
+)
+from repro.journal.events import JournalEvent
+from repro.slo.engine import SloOutcome
+
+
+@dataclass(frozen=True)
+class AlertMatch:
+    """One injected outage fault vs the alerts of its shard."""
+
+    fault_kind: str
+    target: str
+    at_us: float
+    shard: Optional[str]
+    budget_exhausted: bool
+    n_alerts: int
+
+    @property
+    def ok(self) -> bool:
+        """Exactly one alert when the budget broke, none when not."""
+        if self.shard is None:
+            return True  # unattributable: no per-shard expectation
+        if self.budget_exhausted:
+            return self.n_alerts == 1
+        return self.n_alerts == 0
+
+
+def match_fault_alerts(events: Sequence[JournalEvent],
+                       outcome: SloOutcome,
+                       slack_us: float = DEFAULT_DETECTION_SLACK_US
+                       ) -> List[AlertMatch]:
+    """Cross-check every injected outage fault against the alerts.
+
+    An alert *covers* a fault when it fired inside the fault window
+    plus ``slack_us`` (burn rates need a little downtime accumulated
+    before they cross the threshold, mirroring detection slack).
+    """
+    ordered = sorted(events, key=lambda e: (e.time_us, e.seq))
+    universe = discover_shards(ordered)
+    exhausted = {b.shard for b in outcome.budgets if b.exhausted}
+    matches: List[AlertMatch] = []
+    for event in ordered:
+        if event.kind != "fault.inject":
+            continue
+        kind = str(event.attrs.get("fault", ""))
+        if kind not in OUTAGE_FAULTS:
+            continue
+        at = float(event.attrs.get("at_us", event.time_us))
+        until = event.attrs.get("until_us")
+        deadline = (float(until) if until else at) + slack_us
+        shard = event_shard(event, universe)
+        n_alerts = 0
+        if shard is not None:
+            n_alerts = sum(
+                1 for alert in outcome.alerts
+                if alert.shard == shard
+                and at <= alert.fired_at_us <= deadline)
+        matches.append(AlertMatch(
+            fault_kind=kind, target=str(event.attrs.get("target", "")),
+            at_us=at, shard=shard,
+            budget_exhausted=shard in exhausted, n_alerts=n_alerts))
+    return matches
+
+
+def unmatched_alerts(events: Sequence[JournalEvent],
+                     outcome: SloOutcome,
+                     slack_us: float = DEFAULT_DETECTION_SLACK_US
+                     ) -> Tuple[int, int]:
+    """(total alerts, alerts covering no injected fault) — the
+    alerting plane's false-positive counter."""
+    ordered = sorted(events, key=lambda e: (e.time_us, e.seq))
+    covered = []
+    for event in ordered:
+        if event.kind != "fault.inject":
+            continue
+        at = float(event.attrs.get("at_us", event.time_us))
+        until = event.attrs.get("until_us")
+        covered.append((at, (float(until) if until else at) + slack_us))
+    spurious = sum(
+        1 for alert in outcome.alerts
+        if not any(s <= alert.fired_at_us <= e for s, e in covered))
+    return len(outcome.alerts), spurious

@@ -1,0 +1,84 @@
+"""Cross-shard trace stitching.
+
+A client request that crosses a partition-map flip is served by two
+replica groups, but it is still *one* request: the shard router
+re-roots the carried trace context before re-dispatching, so every
+span — old shard, router hop, new shard — shares one ``trace_id``.
+This module folds such a trace's router spans (``router.route`` /
+``router.reroute``, each tagged with the shard it picked) into a
+stitched per-request view: which shards served it, in which order,
+and whether a re-route happened mid-flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.telemetry.spans import Span, spans_by_trace
+
+#: Router span names that carry a shard routing decision.
+ROUTE_SPAN_NAMES = ("router.route", "router.reroute")
+
+
+@dataclass(frozen=True)
+class StitchedTrace:
+    """One logical client request across every shard that served it."""
+
+    trace_id: str
+    shards: Tuple[str, ...]  # routing order, duplicates collapsed
+    reroutes: int
+    n_spans: int
+    start_us: float
+    end_us: float
+
+    @property
+    def cross_shard(self) -> bool:
+        """Did this request touch more than one shard?"""
+        return len(self.shards) > 1
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+def stitch_traces(spans: Iterable[Span]) -> List[StitchedTrace]:
+    """Fold spans into one stitched record per trace, sorted by id."""
+    stitched: List[StitchedTrace] = []
+    for trace_id, trace_spans in sorted(spans_by_trace(spans).items()):
+        ordered = sorted(trace_spans,
+                         key=lambda s: (s.start_us, s.span_id))
+        shards: List[str] = []
+        reroutes = 0
+        for span in ordered:
+            if span.name not in ROUTE_SPAN_NAMES:
+                continue
+            if span.name == "router.reroute":
+                reroutes += 1
+            shard = span.attrs.get("shard")
+            if isinstance(shard, str) \
+                    and (not shards or shards[-1] != shard):
+                shards.append(shard)
+        start = min(s.start_us for s in ordered)
+        end = max((s.end_us if s.end_us is not None else s.start_us)
+                  for s in ordered)
+        stitched.append(StitchedTrace(
+            trace_id=trace_id, shards=tuple(shards),
+            reroutes=reroutes, n_spans=len(ordered),
+            start_us=start, end_us=end))
+    return stitched
+
+
+def cross_shard_traces(spans: Iterable[Span]) -> List[StitchedTrace]:
+    """Only the traces that crossed a shard boundary mid-request."""
+    return [t for t in stitch_traces(spans) if t.cross_shard]
+
+
+def stitch_summary(spans: Iterable[Span]) -> Dict[str, int]:
+    """Fleet-level stitching counters for reports and bench digests."""
+    traces = stitch_traces(spans)
+    return {
+        "traces": len(traces),
+        "cross_shard": sum(1 for t in traces if t.cross_shard),
+        "reroutes": sum(t.reroutes for t in traces),
+    }

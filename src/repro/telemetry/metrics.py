@@ -103,10 +103,22 @@ class Histogram:
         self.sum += value
 
     def merge(self, other: "Histogram") -> None:
-        """Add ``other``'s state into this histogram (same bounds)."""
+        """Add ``other``'s state into this histogram (same bounds).
+
+        Merging an *empty* histogram is a no-op regardless of bounds —
+        an unpopulated instrument carries no information, so it cannot
+        conflict.  Symmetrically, an empty histogram adopts the bounds
+        of the first populated one merged into it.
+        """
+        if other.count == 0:
+            return
         if other.bounds != self.bounds:
-            raise ValueError("cannot merge histograms with different "
-                             f"bounds: {self.bounds} vs {other.bounds}")
+            if self.count == 0:
+                self.bounds = other.bounds
+                self.counts = [0] * (len(other.bounds) + 1)
+            else:
+                raise ValueError("cannot merge histograms with different "
+                                 f"bounds: {self.bounds} vs {other.bounds}")
         for i, n in enumerate(other.counts):
             self.counts[i] += n
         self.count += other.count
@@ -122,6 +134,12 @@ class Histogram:
             raise ValueError(f"quantile must be in [0, 1]: {q}")
         if self.count == 0:
             return 0.0
+        if self.count == 1:
+            # One sample: every quantile is that sample, and ``sum``
+            # still holds its exact value — no need to interpolate a
+            # bucket midpoint out of it.  Overflow keeps the usual
+            # clamp to the last bound.
+            return min(self.sum, self.bounds[-1])
         rank = q * self.count
         cumulative = 0
         for i, n in enumerate(self.counts):
@@ -198,17 +216,28 @@ class MetricsRegistry:
                 for (n, labels), metric in sorted(self._metrics.items())
                 if n == name]
 
-    def merged_histogram(self, name: str) -> Optional[Histogram]:
+    def merged_histogram(self, name: str,
+                         **labels: str) -> Optional[Histogram]:
         """Merge every label-set of histogram ``name`` into one view
-        (e.g. the group-wide latency distribution); None if absent."""
+        (e.g. the group-wide latency distribution); None if absent.
+
+        ``labels`` restricts the merge to label-sets that carry all the
+        given items — ``merged_histogram("request_latency_us",
+        shard="shard0")`` is one shard's latency distribution.
+        """
+        want = {(k, str(v)) for k, v in labels.items()}
         merged: Optional[Histogram] = None
-        for _, metric in self.find(name):
+        matched = False
+        for label_set, metric in self.find(name):
             if not isinstance(metric, Histogram):
                 return None
+            if want and not want <= set(label_set.items()):
+                continue
+            matched = True
             if merged is None:
                 merged = Histogram(metric.bounds)
             merged.merge(metric)
-        return merged
+        return merged if matched else None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready dump of every instrument (for trial summaries)."""

@@ -15,7 +15,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.journal.availability import (
     AvailabilityReport,
     availability_report,
+    discover_shards,
     match_faults,
+    per_shard_reports,
 )
 from repro.journal.events import JournalEvent
 
@@ -108,7 +110,9 @@ def render_journal(events: Iterable[JournalEvent],
         chosen = chosen[:limit]
     return "\n".join(
         f"[{e.time_us / 1e6:10.4f} s] {_tag(e.kind):9s} "
-        f"{e.host:8s} {_describe(e)}"
+        f"{e.host:8s} "
+        + (f"[{e.shard}] " if e.shard is not None else "")
+        + _describe(e)
         for e in chosen)
 
 
@@ -137,6 +141,26 @@ def journal_summary(events: Sequence[JournalEvent],
                            for host, n in sorted(truncated.items()))
         lines.append(f"WARNING: flight-recorder rings truncated "
                      f"({detail}); per-host excerpts are incomplete")
+    # Per-shard rollup, only for journals whose events carry
+    # first-class shard tags (cluster runs) — single-group artifacts
+    # keep the exact pre-shard summary.
+    if any(e.shard is not None for e in events):
+        shards = discover_shards(events)
+        reports = per_shard_reports(events,
+                                    window_start_us=window_start_us,
+                                    window_end_us=window_end_us,
+                                    shards=shards)
+        if reports:
+            lines.append("")
+            lines.append(f"{'shard':12s} {'avail %':>8s} "
+                         f"{'down [s]':>9s} {'MTTR [s]':>9s} "
+                         f"{'outages':>8s}")
+            for shard in sorted(reports):
+                r = reports[shard]
+                lines.append(f"{shard:12s} {r.availability * 100:8.3f} "
+                             f"{r.downtime_us / 1e6:9.3f} "
+                             f"{r.mttr_us / 1e6:9.3f} "
+                             f"{r.n_outages:8d}")
     if matches:
         lines.append("")
         lines.append(f"{'fault':14s} {'target':18s} {'at [s]':>8s} "

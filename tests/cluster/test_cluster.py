@@ -48,7 +48,7 @@ class TestClusterLoad:
         assert styles == {"active", "warm_passive"}
         # The journal's deployment events agree with the specs.
         assert result.journal is not None
-        deployed = {e.attrs["shard"]: e.attrs["style"]
+        deployed = {e.shard: e.attrs["style"]
                     for e in result.journal.events
                     if e.component == "cluster" and e.kind == "shard"}
         assert deployed == result.shard_styles

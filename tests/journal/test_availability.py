@@ -5,7 +5,10 @@ import pytest
 from repro.journal import (
     Journal,
     availability_report,
+    discover_shards,
+    event_shard,
     match_faults,
+    per_shard_reports,
     switch_windows,
 )
 
@@ -197,3 +200,97 @@ class TestMatchFaults:
         report = availability_report(events, window_start_us=0.0,
                                      window_end_us=1_000.0)
         assert report.false_positives == 0
+
+
+class TestBoundaryCases:
+    def test_zero_duration_window(self):
+        events = build(crash(100.0))
+        report = availability_report(events, window_start_us=500.0,
+                                     window_end_us=500.0)
+        assert report.span_us == 0.0
+        assert report.availability == 1.0
+        assert report.degraded_fraction == 0.0
+        assert report.n_outages == 0
+        assert report.windows == ()
+
+    def test_fault_at_window_end_not_counted(self):
+        events = build(crash(1_000.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.n_outages == 0
+        assert report.downtime_us == 0.0
+
+    def test_down_clips_overlapping_degraded_window(self):
+        # A switch spanning an outage: the overlap bills as down, the
+        # flanks stay degraded, and the band alternates cleanly.
+        events = build(
+            switch(100.0, "prepare"),
+            crash(200.0),
+            view_drop(300.0),
+            switch(400.0, "complete"))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.downtime_us == pytest.approx(100.0)
+        assert report.degraded_us == pytest.approx(200.0)
+        assert [w.state for w in report.windows] == [
+            "up", "degraded", "down", "degraded", "up"]
+
+    def test_truncated_ring_marker_does_not_perturb_accounting(self):
+        events = build(
+            crash(100.0), view_drop(400.0),
+            (450.0, "s01", "journal", "journal.truncated",
+             {"dropped": 7, "ring_size": 8}))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.downtime_us == pytest.approx(300.0)
+        assert report.false_positives == 0
+
+
+class TestPerShardAttribution:
+    def shard_events(self):
+        journal = Journal()
+        journal.record(10.0, "s01", "cluster", "shard",
+                       shard="shard0", style="active")
+        journal.record(10.0, "s02", "cluster", "shard",
+                       shard="shard1", style="warm_passive")
+        journal.record(50.0, "s01", "gcs", "membership.view",
+                       group="shard0", view_id=1, left=[])
+        journal.record(60.0, "s01", "gcs", "membership.view",
+                       group="cluster.ctl", view_id=1)
+        journal.record(100.0, "net", "injector", "fault.inject",
+                       fault="process_crash", target="shard0-r1",
+                       at_us=100.0)
+        journal.record(400.0, "s01", "gcs", "membership.view",
+                       group="shard0", view_id=2,
+                       left=["shard0-r1#1@s01"], crashed=True)
+        journal.record(500.0, "s09", "cluster", "map")
+        return journal.events
+
+    def test_discover_shards_skips_control_groups(self):
+        assert discover_shards(self.shard_events()) == (
+            "shard0", "shard1")
+
+    def test_event_shard_priority(self):
+        events = self.shard_events()
+        shards = discover_shards(events)
+        assert event_shard(events[0], shards) == "shard0"  # field
+        assert event_shard(events[2], shards) == "shard0"  # group attr
+        assert event_shard(events[4], shards) == "shard0"  # target prefix
+        assert event_shard(events[6], shards) is None      # fleet-level
+
+    def test_prefix_match_requires_delimiter(self):
+        from repro.journal import JournalEvent
+        event = JournalEvent(seq=0, time_us=0.0, host="h",
+                             component="c", kind="fault.inject",
+                             attrs={"target": "shard10-r1"})
+        assert event_shard(event, ("shard1", "shard10")) == "shard10"
+
+    def test_per_shard_reports_bill_downtime_to_one_shard(self):
+        reports = per_shard_reports(self.shard_events(),
+                                    window_start_us=0.0,
+                                    window_end_us=1_000.0)
+        assert set(reports) == {"shard0", "shard1"}
+        assert reports["shard0"].downtime_us == pytest.approx(300.0)
+        assert reports["shard0"].n_outages == 1
+        assert reports["shard1"].downtime_us == 0.0
+        assert reports["shard1"].n_outages == 0

@@ -134,6 +134,35 @@ class TestJournalEvent:
                              component="c", kind="k")
         assert "trace_id" not in event.to_dict()
 
+    def test_shard_round_trips_and_is_omitted_when_absent(self):
+        tagged = JournalEvent(seq=1, time_us=5.0, host="s01",
+                              component="cluster", kind="shard.lost",
+                              shard="shard2")
+        assert tagged.to_dict()["shard"] == "shard2"
+        assert JournalEvent.from_dict(tagged.to_dict()) == tagged
+        bare = JournalEvent(seq=0, time_us=0.0, host="h",
+                            component="c", kind="k")
+        assert "shard" not in bare.to_dict()
+        assert JournalEvent.from_dict(bare.to_dict()).shard is None
+
+    def test_pre_shard_jsonl_line_still_parses(self):
+        # A line captured before the shard field existed must load
+        # byte-identically: same canonical serialization back out.
+        import json
+        line = ('{"attrs":{"a":1,"b":2},"component":"c","host":"h",'
+                '"kind":"k","seq":0,"t_us":1.0}')
+        event = JournalEvent.from_dict(json.loads(line))
+        assert event.shard is None
+        assert json.dumps(event.to_dict(), sort_keys=True,
+                          separators=(",", ":")) == line
+
+    def test_record_binds_shard_as_field_not_attr(self):
+        journal = Journal()
+        event = journal.record(1.0, "s01", "cluster", "migrate.start",
+                               shard="shard0", dst="shard1")
+        assert event.shard == "shard0"
+        assert event.attrs == {"dst": "shard1"}
+
     def test_str_mentions_kind_and_attrs(self):
         event = JournalEvent(seq=0, time_us=1_000_000.0, host="s01",
                              component="gcs", kind="membership.view",

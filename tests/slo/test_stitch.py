@@ -1,0 +1,105 @@
+"""Cross-shard trace stitching, synthetic and end-to-end."""
+
+import pytest
+
+from repro.slo import cross_shard_traces, stitch_summary, stitch_traces
+from repro.telemetry.spans import Span
+
+
+def route_span(span_id, trace_id, name, start_us, shard, **attrs):
+    return Span(span_id=span_id, trace_id=trace_id, parent_id=0,
+                name=name, component="router", host="w01",
+                process="client-0", start_us=start_us, end_us=start_us,
+                attrs={"shard": shard, **attrs})
+
+
+def work_span(span_id, trace_id, start_us, end_us):
+    return Span(span_id=span_id, trace_id=trace_id, parent_id=0,
+                name="replica.apply", component="replicator",
+                host="s01", process="shard0-r1",
+                start_us=start_us, end_us=end_us)
+
+
+class TestStitchTraces:
+    def test_single_shard_trace(self):
+        spans = [route_span(1, "t1", "router.route", 10.0, "shard0"),
+                 work_span(2, "t1", 10.0, 40.0)]
+        (trace,) = stitch_traces(spans)
+        assert trace.trace_id == "t1"
+        assert trace.shards == ("shard0",)
+        assert trace.reroutes == 0
+        assert not trace.cross_shard
+        assert trace.n_spans == 2
+        assert trace.duration_us == pytest.approx(30.0)
+
+    def test_reroute_orders_shards_by_hop(self):
+        spans = [
+            route_span(1, "t1", "router.route", 10.0, "shard0"),
+            route_span(2, "t1", "router.reroute", 50.0, "shard1",
+                       from_shard="shard0"),
+        ]
+        (trace,) = stitch_traces(spans)
+        assert trace.shards == ("shard0", "shard1")
+        assert trace.reroutes == 1
+        assert trace.cross_shard
+
+    def test_consecutive_duplicate_shards_collapse(self):
+        # A retry routed back to the same shard is one hop, not two.
+        spans = [
+            route_span(1, "t1", "router.route", 10.0, "shard0"),
+            route_span(2, "t1", "router.route", 20.0, "shard0"),
+            route_span(3, "t1", "router.reroute", 30.0, "shard1"),
+        ]
+        (trace,) = stitch_traces(spans)
+        assert trace.shards == ("shard0", "shard1")
+
+    def test_non_route_spans_do_not_carry_shards(self):
+        spans = [work_span(1, "t1", 0.0, 5.0)]
+        (trace,) = stitch_traces(spans)
+        assert trace.shards == ()
+        assert not trace.cross_shard
+
+    def test_unfinished_span_ends_at_its_start(self):
+        span = Span(span_id=1, trace_id="t1", parent_id=0,
+                    name="client.request", component="client",
+                    host="w01", process="client-0", start_us=7.0)
+        (trace,) = stitch_traces([span])
+        assert trace.end_us == 7.0
+
+    def test_traces_sorted_by_id(self):
+        spans = [route_span(1, "t2", "router.route", 0.0, "shard0"),
+                 route_span(2, "t1", "router.route", 0.0, "shard1")]
+        assert [t.trace_id for t in stitch_traces(spans)] == [
+            "t1", "t2"]
+
+    def test_cross_shard_filter_and_summary(self):
+        spans = [
+            route_span(1, "t1", "router.route", 0.0, "shard0"),
+            route_span(2, "t1", "router.reroute", 5.0, "shard1"),
+            route_span(3, "t2", "router.route", 0.0, "shard0"),
+        ]
+        crossing = cross_shard_traces(spans)
+        assert [t.trace_id for t in crossing] == ["t1"]
+        assert stitch_summary(spans) == {
+            "traces": 2, "cross_shard": 1, "reroutes": 1}
+
+
+class TestStitchEndToEnd:
+    def test_rebalance_produces_stitched_cross_shard_traces(self):
+        from repro.cluster import run_cluster_load
+        result = run_cluster_load(
+            n_shards=2, n_clients=4, n_requests=20, n_keys=2,
+            processing_us=2_000.0,
+            rebalance=("obj00", "shard1", 30_000.0), telemetry=True)
+        assert result.rerouted >= 1
+        spans = result.telemetry.spans
+        crossing = cross_shard_traces(spans)
+        # Every re-routed request shows up as ONE stitched trace that
+        # walked from the old owner to the new one — not two traces.
+        assert crossing
+        for trace in crossing:
+            assert trace.reroutes >= 1
+            assert trace.shards[-1] == "shard1"
+        summary = stitch_summary(spans)
+        assert summary["cross_shard"] == len(crossing)
+        assert summary["reroutes"] >= result.rerouted

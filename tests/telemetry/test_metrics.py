@@ -81,8 +81,36 @@ class TestHistogram:
         assert a.sum == 555.0
 
     def test_merge_rejects_different_bounds(self):
+        populated = Histogram(bounds=(20.0,))
+        populated.observe(5)
+        target = Histogram(bounds=(10.0,))
+        target.observe(5)
         with pytest.raises(ValueError):
-            Histogram(bounds=(10.0,)).merge(Histogram(bounds=(20.0,)))
+            target.merge(populated)
+
+    def test_merge_empty_histogram_is_noop(self):
+        # An unpopulated instrument carries no information, so it
+        # merges into anything — even with mismatched bounds.
+        target = Histogram(bounds=(10.0,))
+        target.observe(5)
+        target.merge(Histogram(bounds=(20.0,)))
+        assert target.count == 1
+        assert target.bounds == (10.0,)
+
+    def test_empty_histogram_adopts_bounds_on_merge(self):
+        populated = Histogram(bounds=(20.0, 40.0))
+        populated.observe(30)
+        target = Histogram(bounds=(10.0,))
+        target.merge(populated)
+        assert target.bounds == (20.0, 40.0)
+        assert target.count == 1
+        assert target.counts == [0, 1, 0]
+
+    def test_single_sample_quantile_is_exact(self):
+        h = Histogram(bounds=(100.0, 200.0))
+        h.observe(137.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(137.0)
 
     def test_to_dict_round_trips_state(self):
         h = Histogram(bounds=(10.0,))
