@@ -14,7 +14,12 @@ from repro.bench.artifact import (
     read_artifact,
     write_artifact,
 )
-from repro.bench.profiles import PROFILE_NAMES, run_profile, run_suite
+from repro.bench.profiles import (
+    PROFILE_NAMES,
+    profile_summaries,
+    run_profile,
+    run_suite,
+)
 from repro.bench.reference import ReferenceSimulator
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "PROFILE_NAMES",
     "ReferenceSimulator",
     "artifact_path",
+    "profile_summaries",
     "read_artifact",
     "run_profile",
     "run_suite",

@@ -58,9 +58,13 @@ from repro.check.report import render_exploration, render_outcome
 from repro.check.scenario import (
     MUTATIONS,
     CheckScenario,
+    PreparedSchedule,
     ScheduleOutcome,
     canonical_scenario,
+    finish_schedule,
+    prepare_schedule,
     run_schedule,
+    snapshot_schedule,
 )
 
 __all__ = [
@@ -72,6 +76,7 @@ __all__ = [
     "LinearizabilityResult",
     "MUTATIONS",
     "Operation",
+    "PreparedSchedule",
     "RandomWalkPolicy",
     "ReplayPolicy",
     "ReproArtifact",
@@ -83,11 +88,14 @@ __all__ = [
     "check_invariants",
     "check_linearizability",
     "explore",
+    "finish_schedule",
     "load_artifact",
     "minimize",
+    "prepare_schedule",
     "render_exploration",
     "render_outcome",
     "replay",
     "run_schedule",
+    "snapshot_schedule",
     "write_artifact",
 ]

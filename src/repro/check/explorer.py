@@ -22,7 +22,12 @@ from repro.check.invariants import (
 )
 from repro.check.linearizability import CounterSpec, check_linearizability
 from repro.check.policies import RandomWalkPolicy
-from repro.check.scenario import CheckScenario, ScheduleOutcome, run_schedule
+from repro.check.scenario import (
+    CheckScenario,
+    ScheduleOutcome,
+    finish_schedule,
+    snapshot_schedule,
+)
 
 #: Crash-time multipliers cycled across walks, so the primary dies at
 #: varied points of the request stream (deterministic per walk index).
@@ -114,6 +119,12 @@ def explore(scenario: CheckScenario, budget: int = 200,
     """
     result = ExplorationResult(scenario=scenario, budget=budget)
     seen_digests: Set[str] = set()
+    # The setup + warmup prefix is identical for every walk (the
+    # warmup runs under the identity policy; walk policies only arm
+    # at the start of the load window) and for every crash-time
+    # variant (the crash lands in the suffix).  Pay it once, then
+    # fork an independent copy per walk.
+    snapshot = snapshot_schedule(scenario)
     for i in range(budget):
         variant = scenario
         if scenario.crash_primary_at_us is not None:
@@ -124,7 +135,8 @@ def explore(scenario: CheckScenario, budget: int = 200,
         policy = RandomWalkPolicy(seed=base_walk_seed + i,
                                   tie_choices=tie_choices,
                                   delay_bound_us=delay_bound_us)
-        outcome = run_schedule(variant, policy)
+        outcome = finish_schedule(snapshot.fork(), policy,
+                                  scenario=variant)
         fresh = outcome.digest not in seen_digests
         seen_digests.add(outcome.digest)
         report = ScheduleReport(

@@ -23,7 +23,18 @@ from dataclasses import asdict, dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.check.history import HistoryRecorder, Operation
+from repro.check.policies import SchedulerPolicy
 from repro.errors import AdaptationError, VerificationError
+from repro.experiments import Testbed, deploy_client, deploy_replica_group
+from repro.faults import FaultInjector
+from repro.journal.io import events_to_jsonl
+from repro.orb import CounterServant
+from repro.replication import (
+    ClientReplicationConfig,
+    ReplicationConfig,
+    ReplicationStyle,
+)
+from repro.sim import SimSnapshot, default_calibration
 
 
 @dataclass(frozen=True)
@@ -127,30 +138,36 @@ MUTATIONS: Dict[str, Callable[[Any], None]] = {
 }
 
 
-def run_schedule(scenario: CheckScenario,
-                 policy: Optional[Any] = None) -> ScheduleOutcome:
-    """Run one deterministic schedule of the canonical scenario.
+#: Simulated warmup (µs) run before the load window opens: long
+#: enough for the group to form, elect a primary and settle.
+WARMUP_US = 150_000.0
 
-    ``policy`` (a :mod:`repro.check.policies` object, or ``None`` for
-    the kernel's native ordering) perturbs tie-breaks and message
-    delays; everything else — workload, faults, horizon — comes from
-    the scenario parameters, so (scenario, policy decisions) fully
-    identify the schedule.
+
+@dataclass
+class PreparedSchedule:
+    """A warmed canonical-scenario testbed, ready for its suffix.
+
+    Produced by :func:`prepare_schedule`: the replica group is
+    deployed and settled, the client joined, and ``WARMUP_US`` of
+    simulated time has elapsed — everything *before* the first
+    policy-dependent decision.  The warmup runs under the identity
+    :class:`~repro.check.policies.SchedulerPolicy`, so a
+    ``PreparedSchedule`` is byte-identical no matter which walk policy
+    :func:`finish_schedule` later arms — that is what makes one
+    prepared state shareable (via :class:`repro.sim.SimSnapshot`)
+    across every walk of an exploration.
     """
-    from repro.experiments import (
-        Testbed,
-        deploy_client,
-        deploy_replica_group,
-    )
-    from repro.journal.io import events_to_jsonl
-    from repro.orb import CounterServant
-    from repro.replication import (
-        ClientReplicationConfig,
-        ReplicationConfig,
-        ReplicationStyle,
-    )
-    from repro.sim import default_calibration
 
+    scenario: CheckScenario
+    testbed: Any
+    replicas: List[Any]
+    client: Any
+    history: HistoryRecorder
+
+
+def prepare_schedule(scenario: CheckScenario) -> PreparedSchedule:
+    """Build and warm the canonical-scenario testbed (policy-free
+    prefix: identical for every schedule of ``scenario``)."""
     if scenario.mutation is not None \
             and scenario.mutation not in MUTATIONS:
         raise VerificationError(
@@ -160,9 +177,13 @@ def run_schedule(scenario: CheckScenario,
     calibration = default_calibration()
     calibration = replace(
         calibration, journal=replace(calibration.journal, enabled=True))
+    # Always install the identity policy: the warmup then runs with
+    # (0, n) sequence tuples — ordered exactly like the plain integer
+    # counter — and finish_schedule() can swap in the walk policy
+    # without re-running the prefix.
     testbed = Testbed.paper_testbed(
         scenario.n_replicas, 1, seed=scenario.seed,
-        calibration=calibration, scheduler_policy=policy)
+        calibration=calibration, scheduler_policy=SchedulerPolicy())
     history = HistoryRecorder()
     testbed.sim.history = history
 
@@ -173,12 +194,65 @@ def run_schedule(scenario: CheckScenario,
     hosts = [f"s{i:02d}" for i in range(1, scenario.n_replicas + 1)]
     replicas = deploy_replica_group(testbed, hosts, config,
                                     {"counter": CounterServant})
-    if scenario.mutation is not None:
-        MUTATIONS[scenario.mutation](replicas)
     client = deploy_client(testbed, "w01", ClientReplicationConfig(
         group="svc", expected_style=style,
         retry_timeout_us=scenario.retry_timeout_us))
-    testbed.run(150_000)
+    testbed.run(WARMUP_US)
+    return PreparedSchedule(scenario=scenario, testbed=testbed,
+                            replicas=replicas, client=client,
+                            history=history)
+
+
+def snapshot_schedule(scenario: CheckScenario) -> SimSnapshot:
+    """Warm the canonical scenario once and freeze it: each
+    :meth:`~repro.sim.SimSnapshot.fork` yields an independent
+    :class:`PreparedSchedule` for :func:`finish_schedule`."""
+    prepared = prepare_schedule(scenario)
+    return SimSnapshot.capture(prepared, sim=prepared.testbed.sim,
+                               label=f"check-seed{scenario.seed}")
+
+
+def finish_schedule(prepared: PreparedSchedule,
+                    policy: Optional[Any] = None,
+                    scenario: Optional[CheckScenario] = None) -> ScheduleOutcome:
+    """Run the policy-dependent suffix of a prepared schedule.
+
+    Arms ``policy`` (when given), applies the scenario's protocol
+    mutation, schedules the switch/crash faults and the workload, and
+    runs to the horizon.  Consumes ``prepared`` — fork a fresh copy
+    from a snapshot to run another suffix.
+
+    ``scenario`` substitutes a variant whose *suffix* parameters
+    (switch/crash offsets, request count, horizon, settle, mutation)
+    differ from the prepared one — the explorer cycles crash-time
+    variations over a single snapshot this way.  Prefix parameters
+    (replicas, seed, checkpoint interval, retry timeout) must match
+    the prepared state; they already shaped the warmup.
+    """
+    if scenario is None:
+        scenario = prepared.scenario
+    elif (scenario.n_replicas != prepared.scenario.n_replicas
+          or scenario.seed != prepared.scenario.seed
+          or scenario.checkpoint_interval
+          != prepared.scenario.checkpoint_interval
+          or scenario.retry_timeout_us
+          != prepared.scenario.retry_timeout_us):
+        raise VerificationError(
+            "finish_schedule scenario differs from the prepared one "
+            "in prefix parameters (replicas/seed/checkpoint/retry)")
+    testbed = prepared.testbed
+    replicas = prepared.replicas
+    client = prepared.client
+    history = prepared.history
+
+    if policy is not None:
+        testbed.sim.swap_scheduler_policy(policy)
+    # The mutation is applied post-warmup: both mutations patch
+    # checkpoint handling, which first fires when the load below
+    # drives requests, so this is behaviourally identical to patching
+    # at deploy time — and it keeps the warmed prefix mutation-free.
+    if scenario.mutation is not None:
+        MUTATIONS[scenario.mutation](replicas)
 
     start = testbed.now
 
@@ -205,7 +279,6 @@ def run_schedule(scenario: CheckScenario,
         # Through the injector (not a raw kill) so the journal carries
         # the fault.inject ground truth the availability accounting
         # and the SLO fault/alert cross-check match against.
-        from repro.faults import FaultInjector
         injector = FaultInjector(testbed.sim, testbed.network)
         injector.crash_process_at(replicas[0].process,
                                   start + scenario.crash_primary_at_us)
@@ -232,3 +305,18 @@ def run_schedule(scenario: CheckScenario,
         digest=hasher.hexdigest(),
         giveups=client.replicator.failures,
         events_dispatched=testbed.sim.events_dispatched)
+
+
+def run_schedule(scenario: CheckScenario,
+                 policy: Optional[Any] = None) -> ScheduleOutcome:
+    """Run one deterministic schedule of the canonical scenario.
+
+    ``policy`` (a :mod:`repro.check.policies` object, or ``None`` for
+    the kernel's native ordering) perturbs tie-breaks and message
+    delays; everything else — workload, faults, horizon — comes from
+    the scenario parameters, so (scenario, policy decisions) fully
+    identify the schedule.  Equivalent to
+    ``finish_schedule(prepare_schedule(scenario), policy)`` — the
+    explorer shares one prepared snapshot across walks instead.
+    """
+    return finish_schedule(prepare_schedule(scenario), policy)

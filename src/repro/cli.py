@@ -417,16 +417,34 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_listing() -> str:
+    """One line per bench profile: name plus docstring summary."""
+    from repro.bench import profile_summaries
+
+    lines = ["available profiles:"]
+    for name, summary in profile_summaries().items():
+        lines.append(f"  {name:16s} {summary}")
+    return "\n".join(lines)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the calibrated performance suite and write artifacts."""
     import os
 
     from repro.bench import PROFILE_NAMES, run_profile, write_artifact
 
+    if args.list_profiles:
+        print(_profile_listing())
+        return 0
+    names = tuple(args.profile) if args.profile else PROFILE_NAMES
+    unknown = [name for name in names if name not in PROFILE_NAMES]
+    if unknown:
+        print(_profile_listing(), file=sys.stderr)
+        return _usage_error(
+            "bench", f"unknown profile(s): {', '.join(unknown)}")
     if not os.path.isdir(args.out_dir):
         return _usage_error(
             "bench", f"--out-dir {args.out_dir!r} is not a directory")
-    names = tuple(args.profile) if args.profile else PROFILE_NAMES
     mode = "quick" if args.quick else "full"
     print(f"bench ({mode}): {', '.join(names)}")
     for name in names:
@@ -728,8 +746,6 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also write a self-contained HTML "
                                      "report to this path")
 
-    from repro.bench import PROFILE_NAMES
-
     bench_parser = sub.add_parser("bench", help=_SUMMARIES["bench"])
     bench_parser.add_argument("--quick", action="store_true",
                               help="CI-smoke sizing (seconds per "
@@ -738,9 +754,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="directory for BENCH_*.json "
                                    "artifacts (default: cwd)")
     bench_parser.add_argument("--profile", action="append",
-                              choices=list(PROFILE_NAMES),
                               help="run only this profile (repeatable; "
-                                   "default: all)")
+                                   "default: all; see --list)")
+    bench_parser.add_argument("--list", action="store_true",
+                              dest="list_profiles",
+                              help="list the available profiles and "
+                                   "exit")
 
     check_parser = sub.add_parser("check", help=_SUMMARIES["check"])
     mode = check_parser.add_mutually_exclusive_group()

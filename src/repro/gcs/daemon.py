@@ -133,6 +133,10 @@ class GcsDaemon(Actor):
         # Per-view routing caches, rebuilt on every view install.
         self._view_set: frozenset = frozenset()
         self._hb_targets: Tuple[Endpoint, ...] = ()
+        # Cached (view_id, Heartbeat, wire bytes): the beat payload
+        # only changes when the view does, so the per-tick message
+        # build + size estimate are paid once per view.
+        self._hb_beat: Optional[Tuple[int, Heartbeat, int]] = None
         self._rebuild_view_routing()
         self.host.bind(GCS_PORT, self._on_frame)
 
@@ -804,8 +808,13 @@ class GcsDaemon(Actor):
     # Failure detection
     # ==================================================================
     def _send_heartbeats(self) -> None:
-        beat = Heartbeat(sender=self.host.name, view_id=self.view.view_id)
-        nbytes = estimate_control_bytes(beat)
+        view_id = self.view.view_id
+        cached = self._hb_beat
+        if cached is None or cached[0] != view_id:
+            beat = Heartbeat(sender=self.host.name, view_id=view_id)
+            cached = (view_id, beat, estimate_control_bytes(beat))
+            self._hb_beat = cached
+        _, beat, nbytes = cached
         send = self.network.send
         src = self.endpoint
         for target in self._hb_targets:

@@ -87,10 +87,14 @@ class Network:
 
     def transmit(self, frame: Frame) -> None:
         """Place a prepared frame on the wire."""
-        src_host = self.hosts.get(frame.src.host)
-        dst_host = self.hosts.get(frame.dst.host)
+        sim = self.sim
+        hosts = self.hosts
+        src_name = frame.src.host
+        dst_name = frame.dst.host
+        src_host = hosts.get(src_name)
+        dst_host = hosts.get(dst_name)
         if src_host is None:
-            raise NetworkError(f"unknown source host: {frame.src.host}")
+            raise NetworkError(f"unknown source host: {src_name}")
         if not src_host.alive:
             # A dead host cannot transmit; this is not an error because
             # in-flight callbacks may race with a crash.
@@ -101,12 +105,12 @@ class Network:
             return
 
         if self.loss.models:
-            dropped, extra_delay = self.loss.judge(self.sim.now, self.sim.rng)
+            dropped, extra_delay = self.loss.judge(sim.now, sim.rng)
             if dropped:
                 self.stats.record_drop()
-                self.sim.trace.record(self.sim.now, "net.drop",
-                                      f"frame {frame.src} -> {frame.dst} lost",
-                                      kind=frame.kind)
+                sim.trace.record(sim.now, "net.drop",
+                                 f"frame {frame.src} -> {frame.dst} lost",
+                                 kind=frame.kind)
                 return
         else:
             # Fast path: with no fault models installed the composite
@@ -114,19 +118,28 @@ class Network:
             # skipping the call is behaviour-identical.
             extra_delay = 0.0
 
-        self.stats.record_transmit(self.sim.now, frame.src.host,
-                                   frame.dst.host, frame.wire_bytes)
-        policy = self.sim.scheduler_policy
+        wire_bytes = frame.wire_bytes
+        self.stats.record_transmit(sim.now, src_name, dst_name, wire_bytes)
+        policy = sim.scheduler_policy
         if policy is not None:
             # Schedule-space exploration: the checker's policy may add
             # a bounded extra delay per frame, perturbing delivery
             # interleavings the way a real LAN's queueing would.
-            extra_delay += policy.message_delay(frame.wire_bytes)
-        delay = self._delay_us(frame, local=(frame.src.host == frame.dst.host))
-        self.sim.schedule_fast(delay + extra_delay, dst_host.deliver,
-                               frame.dst.port, frame)
+            extra_delay += policy.message_delay(wire_bytes)
+        cal = self.calibration
+        if src_name == dst_name:
+            delay = cal.local_loopback_us
+        else:
+            # jitter_us * random() is bit-identical to the old
+            # uniform(0, jitter_us): the library computes a+(b-a)*random().
+            delay = (cal.propagation_us
+                     + wire_bytes / cal.bandwidth_bytes_per_us
+                     + cal.jitter_us * sim.rng.random())
+        sim.schedule_fast(delay + extra_delay, dst_host.deliver,
+                          frame.dst.port, frame)
 
     def _delay_us(self, frame: Frame, local: bool) -> float:
+        """Reference delay model (the hot path above inlines this)."""
         cal = self.calibration
         if local:
             return cal.local_loopback_us

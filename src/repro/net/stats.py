@@ -42,15 +42,29 @@ class NetworkStats:
 
     def record_transmit(self, time: float, src: str, dst: str,
                         wire_bytes: int) -> None:
-        """Account one frame of ``wire_bytes`` sent from src to dst."""
+        """Account one frame of ``wire_bytes`` sent from src to dst.
+
+        Called once per frame on the wire — the counters are updated
+        with single dict lookups and the window expiry inlined.
+        """
         self.total_bytes += wire_bytes
         self.total_frames += 1
-        self._host(src).tx_bytes += wire_bytes
-        self._host(src).tx_frames += 1
-        self._host(dst).rx_bytes += wire_bytes
-        self._host(dst).rx_frames += 1
-        self._window.append((time, wire_bytes))
-        self._expire(time)
+        per_host = self.per_host
+        src_traffic = per_host.get(src)
+        if src_traffic is None:
+            src_traffic = per_host[src] = HostTraffic()
+        dst_traffic = per_host.get(dst)
+        if dst_traffic is None:
+            dst_traffic = per_host[dst] = HostTraffic()
+        src_traffic.tx_bytes += wire_bytes
+        src_traffic.tx_frames += 1
+        dst_traffic.rx_bytes += wire_bytes
+        dst_traffic.rx_frames += 1
+        window = self._window
+        window.append((time, wire_bytes))
+        cutoff = time - self.window_us
+        while window[0][0] < cutoff:
+            window.popleft()
 
     def record_drop(self) -> None:
         """Account one frame lost to fault injection or a dead host."""

@@ -29,6 +29,32 @@ from repro.errors import SimulationError
 from repro.sim.trace import TraceLog
 
 
+class _PolicySequence:
+    """Sequence-number source for policy-perturbed scheduling.
+
+    Replaces the kernel's plain ``itertools.count`` when a scheduler
+    policy is installed: each draw is a ``(policy.tie_break(), n)``
+    tuple, so events at equal simulated times sort by the policy's
+    tie-break value first while the monotone counter still guarantees
+    a total order.  A class (rather than a generator) so the whole
+    simulator graph stays deep-copyable for :mod:`repro.sim.snapshot`.
+    """
+
+    __slots__ = ("policy", "n")
+
+    def __init__(self, policy: Any, n: int = 0):
+        self.policy = policy
+        self.n = n
+
+    def __iter__(self) -> "_PolicySequence":
+        return self
+
+    def __next__(self) -> tuple:
+        n = self.n
+        self.n = n + 1
+        return (self.policy.tie_break(), n)
+
+
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
@@ -67,7 +93,13 @@ class EventHandle:
         return not self.cancelled and self.callback is not _fired
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Branchy compare instead of building two tuples: this runs
+        # once per heap sift step, the most-called function of a run.
+        st = self.time
+        ot = other.time
+        if st != ot:
+            return st < ot
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -299,12 +331,26 @@ class Simulator:
                 "scheduler policy must be installed before any event "
                 "is scheduled")
         self.scheduler_policy = policy
+        self._seq = _PolicySequence(policy)
 
-        def _seq_with_policy():
-            for n in itertools.count():
-                yield (policy.tie_break(), n)
+    def swap_scheduler_policy(self, policy: Any) -> None:
+        """Replace the installed scheduling policy mid-run, keeping
+        the monotone half of the sequence counter.
 
-        self._seq = _seq_with_policy()
+        This is the snapshot/fork arming point: a warmed prefix runs
+        under the identity policy (tie-break 0 for every event, so the
+        prefix is byte-identical no matter which walk will follow),
+        gets captured once, and each fork swaps in its own walk policy
+        before the divergent suffix.  Only valid when a policy was
+        installed via :meth:`set_scheduler_policy` before any event —
+        the heap must already be ordered by ``(tie, n)`` tuples.
+        """
+        if not isinstance(self._seq, _PolicySequence):
+            raise SimulationError(
+                "swap_scheduler_policy requires a policy installed "
+                "via set_scheduler_policy before any event")
+        self.scheduler_policy = policy
+        self._seq.policy = policy
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -314,7 +360,14 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` µs from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        return self.schedule_at(self.now + delay, callback, *args)
+        if not callable(callback):
+            raise SimulationError(f"callback is not callable: {callback!r}")
+        # Inlined schedule_at: delay >= 0 already implies time >= now.
+        handle = EventHandle(self.now + delay, next(self._seq),
+                             callback, args, self)
+        heapq.heappush(self._heap, handle)
+        self._pending += 1
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., None],
                     *args: Any) -> EventHandle:

@@ -1,0 +1,419 @@
+"""Simulator snapshots: capture a warmed run once, fork it many times.
+
+Every campaign trial and every explored schedule replays the same
+deterministic setup + warmup prefix before anything interesting
+happens.  A :class:`SimSnapshot` freezes the complete simulator object
+graph at that point — event heap (including cancelled entries and the
+compaction counters), kernel RNG state, sequence counter, clock,
+actors/hosts, network links and loss models, GCS daemon caches,
+journal flight-recorder rings, telemetry registries, and
+scheduler-policy decision state — so consumers pay the prefix once and
+:meth:`SimSnapshot.fork` out fresh, fully independent copies whose
+subsequent execution is byte-identical to a fresh run reaching the
+same point.
+
+Why not plain :func:`copy.deepcopy`
+-----------------------------------
+Two reasons.  Correctness: ``deepcopy`` treats plain functions as
+*atomic*, so a copied event heap would still hold the original
+``Actor`` timer closures, ``GcsDaemon`` link lambdas and
+protocol-mutation patches — every fork would mutate the actors of the
+snapshot it came from.  Closures are instead rebuilt cell by cell
+(through the memo, so recursive closures like periodic timers resolve
+to their own clone), and default arguments that smuggle object
+references (the ``MUTATIONS`` patches bind replicators that way) are
+deep-copied.
+
+Speed: a fork is only worth taking if it is cheaper than re-running
+the prefix, and ``deepcopy``'s generic ``__reduce_ex__`` machinery
+costs more per object than the warmup it would save.  The copier here
+dispatches on exact type for the handful of shapes the simulator
+graph is made of (dicts, lists, plain and ``__slots__`` instances,
+bound methods, RNGs), shares known-immutable leaves (frozen
+calibrations, :class:`Endpoint`, :class:`TraceRecord`, the ``NULL_*``
+singletons), and falls back to :func:`copy.deepcopy` — with the same
+memo — for anything it does not recognise.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import types
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+_BoundMethod = types.MethodType
+_Function = types.FunctionType
+
+
+def _copy_function(func: types.FunctionType, memo: dict) -> Any:
+    """Closure-aware copy of a plain function.
+
+    Module-level functions (no closure, no bound defaults, no attrs)
+    are shared.  Anything else is rebuilt: a clone with empty cells is
+    registered in the memo *first* so self-referential closures — a
+    periodic timer's ``fire`` reschedules ``fire`` itself — resolve to
+    the clone, then the cells and defaults are filled with copies.
+    """
+    if (func.__closure__ is None and func.__defaults__ is None
+            and func.__kwdefaults__ is None and not func.__dict__):
+        return func
+    cells = tuple(types.CellType() for _ in (func.__closure__ or ()))
+    clone = types.FunctionType(
+        func.__code__, func.__globals__, func.__name__, None,
+        cells or None)
+    clone.__qualname__ = func.__qualname__
+    memo[id(func)] = clone
+    if func.__defaults__ is not None:
+        clone.__defaults__ = tuple(
+            _copy(value, memo) for value in func.__defaults__)
+    if func.__kwdefaults__ is not None:
+        clone.__kwdefaults__ = {
+            key: _copy(value, memo)
+            for key, value in func.__kwdefaults__.items()}
+    if func.__dict__:
+        clone.__dict__.update(
+            (key, _copy(value, memo))
+            for key, value in func.__dict__.items())
+    for cell, orig in zip(cells, func.__closure__ or ()):
+        try:
+            value = orig.cell_contents
+        except ValueError:      # pragma: no cover - empty cell
+            continue
+        cell.cell_contents = _copy(value, memo)
+    return clone
+
+
+def _copy_dict(obj: dict, memo: dict) -> dict:
+    out: dict = {}
+    memo[id(obj)] = out
+    for key, value in obj.items():
+        out[key] = _copy(value, memo)
+    return out
+
+
+def _copy_list(obj: list, memo: dict) -> list:
+    out: list = []
+    memo[id(obj)] = out
+    append = out.append
+    for value in obj:
+        append(_copy(value, memo))
+    return out
+
+
+def _copy_tuple(obj: tuple, memo: dict) -> tuple:
+    # Tuples cannot be memo-registered before their elements exist;
+    # self-referential tuples cannot be built in Python anyway.
+    out = tuple(_copy(value, memo) for value in obj)
+    memo[id(obj)] = out
+    return out
+
+
+def _copy_set(obj: set, memo: dict) -> set:
+    out = {_copy(value, memo) for value in obj}
+    memo[id(obj)] = out
+    return out
+
+
+def _copy_frozenset(obj: frozenset, memo: dict) -> frozenset:
+    out = frozenset(_copy(value, memo) for value in obj)
+    memo[id(obj)] = out
+    return out
+
+
+def _copy_deque(obj: deque, memo: dict) -> deque:
+    out: deque = deque(maxlen=obj.maxlen)
+    memo[id(obj)] = out
+    append = out.append
+    for value in obj:
+        append(_copy(value, memo))
+    return out
+
+
+def _copy_ordered_dict(obj: OrderedDict, memo: dict) -> OrderedDict:
+    out: OrderedDict = OrderedDict()
+    memo[id(obj)] = out
+    for key, value in obj.items():
+        out[key] = _copy(value, memo)
+    return out
+
+
+def _copy_method(obj: types.MethodType, memo: dict) -> types.MethodType:
+    out = _BoundMethod(obj.__func__, _copy(obj.__self__, memo))
+    memo[id(obj)] = out
+    return out
+
+
+def _copy_random(obj: random.Random, memo: dict) -> random.Random:
+    out = random.Random()
+    out.setstate(obj.getstate())
+    memo[id(obj)] = out
+    return out
+
+
+def _fallback(obj: Any, memo: dict) -> Any:
+    """Hand an unrecognised object to :func:`copy.deepcopy`, sharing
+    the memo so cross-references stay consistent.  The function/atomic
+    handlers are patched into deepcopy's dispatch for the duration of
+    the snapshot operation (see :func:`snapshot_deepcopy`), so even
+    fallback subtrees copy closures correctly."""
+    return copy.deepcopy(obj, memo)
+
+
+def _slot_names(cls: type) -> tuple:
+    """All ``__slots__`` names in ``cls``'s MRO (cached by caller)."""
+    names = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name not in ("__dict__", "__weakref__"):
+                names.append(name)
+    return tuple(names)
+
+
+class _InstanceCopier:
+    """Per-class instance copier: plain ``__dict__`` instances and
+    ``__slots__`` instances (frozen dataclasses included — slots are
+    filled via ``object.__setattr__``)."""
+
+    __slots__ = ("cls", "slots")
+
+    def __init__(self, cls: type):
+        self.cls = cls
+        self.slots = _slot_names(cls)
+
+    def __call__(self, obj: Any, memo: dict) -> Any:
+        cls = self.cls
+        out = object.__new__(cls)
+        memo[id(obj)] = out
+        for name in self.slots:
+            try:
+                value = getattr(obj, name)
+            except AttributeError:
+                continue
+            object.__setattr__(out, name, _copy(value, memo))
+        d = getattr(obj, "__dict__", None)
+        if d:
+            # Fill via setattr, NOT ``out.__dict__.update``: touching
+            # ``__dict__`` on the clone materializes the managed dict
+            # and permanently de-optimizes CPython 3.11's inline-values
+            # attribute storage, making every later attribute access on
+            # the forked object slower.  Insertion order mirrors the
+            # source, so clones keep the class's shared-keys layout.
+            setattr_ = object.__setattr__
+            for key, value in d.items():
+                setattr_(out, key, _copy(value, memo))
+        return out
+
+
+def _share(obj: Any, _memo: dict) -> Any:
+    return obj
+
+
+#: Exact-type dispatch table.  Grown lazily: unknown plain classes
+#: (no __deepcopy__/__reduce__ overrides, not an exotic built-in) get
+#: an :class:`_InstanceCopier`; everything else falls back to
+#: :func:`copy.deepcopy`.
+_DISPATCH: Dict[type, Callable[[Any, dict], Any]] = {
+    dict: _copy_dict,
+    list: _copy_list,
+    tuple: _copy_tuple,
+    set: _copy_set,
+    frozenset: _copy_frozenset,
+    deque: _copy_deque,
+    OrderedDict: _copy_ordered_dict,
+    types.MethodType: _copy_method,
+    types.FunctionType: _copy_function,
+    random.Random: _copy_random,
+    str: _share,
+    int: _share,
+    float: _share,
+    bool: _share,
+    bytes: _share,
+    complex: _share,
+    type(None): _share,
+    type(NotImplemented): _share,
+    type(...): _share,
+    type: _share,
+    types.BuiltinFunctionType: _share,
+    types.ModuleType: _share,
+    range: _share,
+}
+
+
+def _learn(cls: type) -> Callable[[Any, dict], Any]:
+    """Pick a copier for a class seen for the first time."""
+    if (cls.__module__ in ("builtins", "itertools", "collections")
+            or "__deepcopy__" in cls.__dict__
+            or "__copy__" in cls.__dict__):
+        handler: Callable[[Any, dict], Any] = _fallback
+    else:
+        for klass in cls.__mro__[:-1]:
+            if ("__reduce__" in klass.__dict__
+                    or "__reduce_ex__" in klass.__dict__
+                    or "__getstate__" in klass.__dict__
+                    or "__deepcopy__" in klass.__dict__):
+                handler = _fallback
+                break
+        else:
+            handler = _InstanceCopier(cls)
+    _DISPATCH[cls] = handler
+    return handler
+
+
+def _copy(obj: Any, memo: dict) -> Any:
+    cls = obj.__class__
+    handler = _DISPATCH.get(cls)
+    if handler is _share:
+        return obj
+    out = memo.get(id(obj))
+    if out is not None:
+        return out
+    if handler is None:
+        handler = _learn(cls)
+        if handler is _share:       # pragma: no cover - defensive
+            return obj
+    return handler(obj, memo)
+
+
+def _register_atomic_types() -> None:
+    """Mark known-immutable leaf types as shared (not copied).
+
+    Everything here is immutable after construction: frozen dataclass
+    calibrations, network endpoints, trace records (append-only, their
+    payload dict is never touched post-record), and the stateless
+    ``Null*`` recorders.  Sharing them is a large part of what makes a
+    fork cheaper than re-running the prefix.  Imported lazily to keep
+    :mod:`repro.sim` free of upward package dependencies.
+    """
+    from repro.net.frame import Endpoint
+    from repro.sim.config import (
+        GcsCalibration,
+        HostCalibration,
+        InterposeCalibration,
+        JournalConfig,
+        NetworkCalibration,
+        OrbCalibration,
+        ReplicationCalibration,
+        SubstrateCalibration,
+        TelemetryConfig,
+    )
+    from repro.sim.kernel import NullHistory, NullJournal, NullTelemetry
+    from repro.sim.trace import TraceRecord
+
+    for atype in (Endpoint, TraceRecord, NullHistory, NullJournal,
+                  NullTelemetry, GcsCalibration, HostCalibration,
+                  InterposeCalibration, JournalConfig,
+                  NetworkCalibration, OrbCalibration,
+                  ReplicationCalibration, SubstrateCalibration,
+                  TelemetryConfig):
+        _DISPATCH[atype] = _share
+
+
+_atomic_registered = False
+
+
+def _deepcopy_function_dispatch(func: types.FunctionType,
+                                memo: dict) -> Any:
+    """Adapter installed into ``copy._deepcopy_dispatch`` during a
+    snapshot copy so functions reached through fallback subtrees are
+    still closure-copied."""
+    return _copy_function(func, memo)
+
+
+def snapshot_deepcopy(obj: Any) -> Any:
+    """Deep-copy ``obj`` with the snapshot rules (closure rebuilding,
+    immutable-leaf sharing, fast exact-type dispatch).  The building
+    block of :class:`SimSnapshot`; exposed for tests and ad-hoc
+    forking."""
+    global _atomic_registered
+    if not _atomic_registered:
+        _register_atomic_types()
+        _atomic_registered = True
+    dispatch = copy._deepcopy_dispatch
+    had_function = types.FunctionType in dispatch
+    saved = dispatch.get(types.FunctionType)
+    dispatch[types.FunctionType] = _deepcopy_function_dispatch
+    try:
+        return _copy(obj, {})
+    except TypeError as exc:
+        raise SimulationError(
+            f"object graph is not snapshot-copyable: {exc}") from exc
+    finally:
+        if had_function:
+            dispatch[types.FunctionType] = saved
+        else:
+            dispatch.pop(types.FunctionType, None)
+
+
+def _find_simulator(obj: Any, depth: int = 3) -> Optional[Simulator]:
+    """Best-effort search for the :class:`Simulator` inside ``roots``
+    (direct value, a ``sim`` attribute, or one level of container)."""
+    if isinstance(obj, Simulator):
+        return obj
+    if depth <= 0:
+        return None
+    sim = getattr(obj, "sim", None)
+    if isinstance(sim, Simulator):
+        return sim
+    values: Any = ()
+    if isinstance(obj, dict):
+        values = obj.values()
+    elif isinstance(obj, (list, tuple)):
+        values = obj
+    for value in values:
+        found = _find_simulator(value, depth - 1)
+        if found is not None:
+            return found
+    return None
+
+
+class SimSnapshot:
+    """A frozen, forkable copy of a warmed simulation.
+
+    ``capture`` deep-copies ``roots`` (any object graph reaching the
+    simulator — typically a dict of testbed/replicas/client) into a
+    private frozen graph that shares nothing mutable with the live
+    run; each ``fork`` deep-copies the frozen graph again, so forks
+    are independent of the snapshot and of each other.  The snapshot
+    itself is never executed.
+    """
+
+    __slots__ = ("_frozen", "label", "forks")
+
+    def __init__(self, frozen: Any, label: str = ""):
+        self._frozen = frozen
+        self.label = label
+        self.forks = 0
+
+    @classmethod
+    def capture(cls, roots: Any, sim: Optional[Simulator] = None,
+                label: str = "") -> "SimSnapshot":
+        """Freeze ``roots`` into a snapshot.
+
+        ``sim`` (located automatically inside ``roots`` when omitted)
+        must not be mid-:meth:`~repro.sim.kernel.Simulator.run`: a
+        snapshot taken while the dispatch loop holds popped-but-live
+        state would not replay identically.
+        """
+        if sim is None:
+            sim = _find_simulator(roots)
+        if sim is not None and sim._running:
+            raise SimulationError(
+                "cannot capture a snapshot while Simulator.run() is "
+                "active")
+        return cls(snapshot_deepcopy(roots), label=label)
+
+    def fork(self) -> Any:
+        """Return an independent deep copy of the captured roots."""
+        self.forks += 1
+        return snapshot_deepcopy(self._frozen)
+
+    def __repr__(self) -> str:
+        return f"<SimSnapshot label={self.label!r} forks={self.forks}>"

@@ -98,3 +98,27 @@ def test_campaign_journals_identical_across_worker_counts(tmp_path):
     serial = _campaign_digests(tmp_path, "serial", 1)
     pooled = _campaign_digests(tmp_path, "pooled", 3)
     assert pooled == serial
+
+
+def test_fault_trial_fork_matches_fresh_run_byte_for_byte():
+    """A trial finished from a snapshot fork journals byte-identically
+    to the same trial built from scratch — the property that lets the
+    campaign worker reuse one warmed snapshot per configuration."""
+    from repro.experiments.trial import (
+        finish_fault_trial,
+        prepare_fault_trial,
+        run_fault_trial,
+    )
+    from repro.sim import SimSnapshot
+
+    style = ReplicationStyle.WARM_PASSIVE
+    fresh = run_fault_trial(style, 2, 1, duration_us=150_000.0,
+                            rate_per_s=100.0, seed=3, journal=True)
+    golden = events_to_jsonl(fresh.journal_events)
+
+    prepared = prepare_fault_trial(style, 2, 1, seed=3, journal=True)
+    snap = SimSnapshot.capture(prepared, sim=prepared.testbed.sim)
+    for _ in range(2):  # every fork, not just the first
+        forked = finish_fault_trial(snap.fork(), duration_us=150_000.0,
+                                    rate_per_s=100.0)
+        assert events_to_jsonl(forked.journal_events) == golden

@@ -85,6 +85,20 @@ class TestExploration:
         assert invariants  # at least one checker fired
         assert violating.decisions
 
+    def test_explored_forks_match_fresh_runs_byte_for_byte(self):
+        # The explorer forks every walk from one warmed snapshot; each
+        # walk must digest identically to a from-scratch run of the
+        # same (variant, policy) pair — forking is a pure fast path.
+        result = explore(_small_scenario(), budget=3,
+                         stop_on_violation=False)
+        assert result.schedules_run == 3
+        for report in result.reports:
+            fresh = run_schedule(
+                report.scenario,
+                RandomWalkPolicy(seed=report.walk_seed, tie_choices=4,
+                                 delay_bound_us=150.0))
+            assert fresh.digest == report.digest
+
 
 class TestArtifacts:
     @pytest.fixture(scope="class")

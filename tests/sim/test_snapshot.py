@@ -1,0 +1,165 @@
+"""Snapshot/fork round-trip edge cases (:mod:`repro.sim.snapshot`).
+
+The golden byte-identity of forked *runs* (explorer and campaign
+shapes) is pinned in ``tests/bench/test_golden_determinism.py`` and
+``tests/check``; here we exercise the copier itself on the states
+that historically break naive deep copies: mid-stream RNGs, heaps
+holding cancelled entries, pre-bound closures, and journal rings
+whose truncation markers are mutated in place.
+"""
+
+import pytest
+
+from repro.journal import Journal
+from repro.journal.events import RING_TRUNCATED
+from repro.sim import SimSnapshot, Simulator, snapshot_deepcopy
+from repro.sim.kernel import COMPACT_MIN_CANCELLED, SimulationError
+
+
+def test_fork_continues_rng_stream_identically():
+    sim = Simulator(seed=42)
+    sim.schedule(10.0, lambda: sim.rng.random())
+    sim.run(until=50.0)
+    snap = SimSnapshot.capture(sim, sim=sim)
+    fork = snap.fork()
+    assert fork is not sim
+    assert fork.rng is not sim.rng
+    assert fork.now == sim.now
+    # Both continue the identical stream from the capture point...
+    fork_draws = [fork.rng.random() for _ in range(16)]
+    orig_draws = [sim.rng.random() for _ in range(16)]
+    assert fork_draws == orig_draws
+    # ...independently: a second fork is unaffected by the draws above.
+    fork2 = snap.fork()
+    assert [fork2.rng.random() for _ in range(16)] == fork_draws
+
+
+def test_capture_mid_run_is_rejected():
+    sim = Simulator(seed=1)
+    errors = []
+
+    def try_capture():
+        try:
+            SimSnapshot.capture(sim, sim=sim)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, try_capture)
+    sim.run(until=2.0)
+    assert len(errors) == 1
+    # Outside run() the same capture succeeds.
+    SimSnapshot.capture(sim, sim=sim)
+
+
+def test_cancelled_events_survive_fork_and_fire_identically():
+    state = {"sim": Simulator(seed=3), "fired": []}
+    sim = state["sim"]
+
+    def record(tag):
+        state["fired"].append((tag, state["sim"].now))
+
+    handles = [sim.schedule(100.0 + i, record, i) for i in range(40)]
+    for handle in handles[::2]:
+        handle.cancel()
+
+    snap = SimSnapshot.capture(state, sim=sim)
+    fork_state = snap.fork()
+    fork_sim = fork_state["sim"]
+    # The heap (including the still-enqueued cancelled entries) and
+    # the live counters round-trip exactly.
+    assert len(fork_sim._heap) == len(sim._heap)
+    assert fork_sim._cancelled == sim._cancelled
+    assert fork_sim._pending == sim._pending
+
+    sim.run()
+    fork_sim.run()
+    expected = [(i, 100.0 + i) for i in range(40) if i % 2 == 1]
+    assert state["fired"] == expected
+    assert fork_state["fired"] == expected
+    # The fork appended to its own list, not the original's.
+    assert fork_state["fired"] is not state["fired"]
+
+
+def test_heap_compaction_counters_round_trip_through_fork():
+    sim = Simulator(seed=7)
+    keep = sim.schedule(10_000.0, lambda: None)
+    doomed = [sim.schedule(5_000.0 + i, lambda: None)
+              for i in range(COMPACT_MIN_CANCELLED + 50)]
+    for handle in doomed[:100]:
+        handle.cancel()
+
+    snap = SimSnapshot.capture(sim, sim=sim)
+    fork = snap.fork()
+    assert fork._cancelled == sim._cancelled == 100
+
+    # Cancelling the rest in the fork crosses the compaction threshold
+    # (cancelled >= COMPACT_MIN_CANCELLED and a cancelled-dominated
+    # heap): the fork's heap compacts exactly like a fresh kernel's.
+    fork_heap_handles = [h for h in fork._heap
+                         if not h.cancelled and h.time != 10_000.0]
+    for handle in fork_heap_handles:
+        handle.cancel()
+    # A compaction ran somewhere in that loop: the counter was reset
+    # and the fork's heap was rebuilt live-only, while the original's
+    # heap still carries every entry.
+    assert fork._cancelled < COMPACT_MIN_CANCELLED
+    assert len(fork._heap) < len(sim._heap)
+    # The original is untouched by the fork's cancellations.
+    assert sim._cancelled == 100
+    assert fork.run() == 10_000.0
+
+
+def test_reliable_link_send_cache_rebinds_to_fork():
+    check = pytest.importorskip("repro.check")
+    prepared = check.prepare_schedule(check.canonical_scenario())
+    snap = SimSnapshot.capture(prepared, sim=prepared.testbed.sim)
+    fork = snap.fork()
+
+    fork_links = [(daemon, peer, link)
+                  for daemon in fork.testbed.daemons.values()
+                  for peer, link in daemon._links.items()]
+    assert fork_links, "warmed group must have reliable links"
+    for daemon, peer, link in fork_links:
+        # The copied link is wired to the fork's kernel/network...
+        assert link.sim is fork.testbed.sim
+        assert link.network is fork.testbed.network
+        assert link.sim is not prepared.testbed.sim
+        # ...and the daemon's pre-bound send cache points at the
+        # copied link, not the original's.
+        send = daemon._sends.get(peer)
+        if send is not None:
+            assert send.__self__ is link
+
+    # Running the fork advances only the fork.
+    t_orig = prepared.testbed.sim.now
+    fork.testbed.run(50_000.0)
+    assert fork.testbed.sim.now > t_orig
+    assert prepared.testbed.sim.now == t_orig
+
+
+def test_journal_ring_truncation_markers_survive_fork():
+    journal = Journal(ring_size=2)
+    for i in range(5):
+        journal.record(float(i), "h1", "comp", "kind", n=i)
+    assert journal.truncated_rings() == {"h1": 3}
+
+    clone = snapshot_deepcopy(journal)
+    # The marker must keep its identity inside the copy: the event in
+    # the global stream IS the object updated in place on eviction.
+    marker = clone._ring_markers["h1"]
+    assert marker.kind == RING_TRUNCATED
+    assert any(event is marker for event in clone.events)
+
+    clone.record(9.0, "h1", "comp", "kind", n=9)
+    assert clone.truncated_rings() == {"h1": 4}
+    assert journal.truncated_rings() == {"h1": 3}
+    assert clone.flight_recorder("h1")[0] is marker
+
+
+def test_snapshot_repr_counts_forks():
+    sim = Simulator(seed=0)
+    snap = SimSnapshot.capture(sim, sim=sim, label="unit")
+    snap.fork()
+    snap.fork()
+    assert snap.forks == 2
+    assert "unit" in repr(snap)

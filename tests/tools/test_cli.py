@@ -298,9 +298,21 @@ def test_bench_usage_errors_exit_2(tmp_path, capsys):
     missing = tmp_path / "nope"
     assert main(["bench", "--quick", "--out-dir", str(missing)]) == 2
     assert "not a directory" in capsys.readouterr().err
-    with pytest.raises(SystemExit) as excinfo:
-        main(["bench", "--profile", "bogus"])
-    assert excinfo.value.code == 2
+    assert main(["bench", "--profile", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown profile(s): bogus" in err
+    assert "available profiles:" in err
+    assert "snapshot" in err
+
+
+def test_bench_list_enumerates_profiles(capsys):
+    from repro.bench import PROFILE_NAMES
+
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "available profiles:" in out
+    for name in PROFILE_NAMES:
+        assert name in out
 
 
 def test_observe_usage_errors_exit_2(tmp_path, capsys):
