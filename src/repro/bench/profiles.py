@@ -1,6 +1,6 @@
 """The fixed bench suite: calibrated performance profiles.
 
-Seven profiles, each reporting wall-clock-grounded throughput numbers
+Eight profiles, each reporting wall-clock-grounded throughput numbers
 plus peak RSS:
 
 - ``kernel_events`` — pure event-loop throughput: an event-chain
@@ -20,6 +20,9 @@ plus peak RSS:
 - ``slo`` — the same sharded fault trial with and without the SLO
   plane, asserting the journal bytes are identical (observation-only)
   and reporting the post-hoc error-budget evaluation throughput;
+- ``partition`` — the per-link topology-filter path: a clean trial vs
+  the same trial with an idle filter installed (byte-identical
+  journal required) plus a live split-and-heal trial;
 - ``snapshot`` — the :class:`repro.sim.SimSnapshot` warm-start fast
   path: fresh vs. forked exploration and campaign loops, asserting
   byte-identical outcomes and reporting the fork speedups plus the
@@ -392,6 +395,84 @@ def _slo(quick: bool) -> BenchReport:
 
 
 # ---------------------------------------------------------------------------
+# partition: per-link topology-filter path overhead
+# ---------------------------------------------------------------------------
+
+def _partition(quick: bool) -> BenchReport:
+    """Price the per-link topology-filter path against a clean trial.
+
+    The *baseline* trial runs with no topology faults at all; the
+    *filtered* trial is the identical workload with a never-active
+    :class:`~repro.net.PartitionFilter` installed directly on the
+    network (its window lies beyond the run, and bypassing the
+    injector keeps the ground-truth journal untouched).  Every frame
+    now pays the filter consultation, but the journal streams must
+    match byte for byte — the filter path may not consume RNG or
+    perturb timing while inactive — and ``filter_overhead_ratio`` is
+    then the pure cost of consulting installed-but-idle filters.  A
+    third trial runs a real mid-window split-and-heal to report the
+    live partition path's throughput.
+    """
+    from repro.experiments.trial import run_fault_trial
+    from repro.journal.io import events_to_jsonl
+    from repro.net import PartitionFilter
+    from repro.replication import ReplicationStyle
+
+    duration_us = 400_000.0 if quick else 1_500_000.0
+    rate_per_s = 200.0
+
+    def trial(inject=None):
+        return run_fault_trial(
+            ReplicationStyle.ACTIVE, n_replicas=3, n_clients=2,
+            duration_us=duration_us, rate_per_s=rate_per_s, seed=1,
+            inject=inject, journal=True)
+
+    def install_idle(ctx) -> None:
+        """An installed filter whose window never opens."""
+        names = sorted(ctx.testbed.network.hosts)
+        horizon = ctx.t0 + 1_000.0 * ctx.duration_us
+        ctx.testbed.network.add_link_filter(PartitionFilter(
+            (frozenset(names[:1]), frozenset(names[1:])),
+            horizon, horizon + 1.0))
+
+    def split_and_heal(ctx) -> None:
+        """A real one-host split for the middle third of the window."""
+        minority = ctx.replicas[-1].process.host.name
+        start = ctx.t0 + 0.3 * ctx.duration_us
+        ctx.injector.partition_at([[minority]], start,
+                                  start + 0.3 * ctx.duration_us)
+
+    base, base_wall = _timed(lambda: trial())
+    idle, idle_wall = _timed(lambda: trial(install_idle))
+    assert base.journal_events is not None
+    assert idle.journal_events is not None
+    if (events_to_jsonl(base.journal_events)
+            != events_to_jsonl(idle.journal_events)):
+        raise AssertionError(
+            "an inactive topology filter must not perturb the journal")
+    live, live_wall = _timed(lambda: trial(split_and_heal))
+    assert live.journal_events is not None
+
+    metrics = {
+        "events_per_sec": (len(idle.journal_events)
+                           / max(idle_wall, 1e-9)),
+        "filter_overhead_ratio": idle_wall / max(base_wall, 1e-9),
+        "journal_events": float(len(idle.journal_events)),
+        "partition_events_per_sec": (len(live.journal_events)
+                                     / max(live_wall, 1e-9)),
+        "partition_completed": float(live.completed),
+        "wall_s": base_wall + idle_wall + live_wall,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return BenchReport(
+        profile="partition", quick=quick,
+        parameters={"n_replicas": 3, "n_clients": 2,
+                    "duration_us": duration_us,
+                    "rate_per_s": rate_per_s},
+        metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
 # snapshot: warm-start fork vs fresh prefix replay
 # ---------------------------------------------------------------------------
 
@@ -548,6 +629,7 @@ _PROFILES: Dict[str, Callable[[bool], BenchReport]] = {
     "check": _check,
     "cluster": _cluster,
     "slo": _slo,
+    "partition": _partition,
     "snapshot": _snapshot,
 }
 

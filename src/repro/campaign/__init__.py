@@ -21,13 +21,17 @@ Public surface:
 """
 
 from repro.campaign.dictionary import (
+    AsymPartition,
     CpuHog,
     CrashAndRestart,
     DelaySpike,
     FaultEntry,
+    FlakyLinkFault,
     HostCrash,
     LossBurst,
+    Partition,
     ProcessCrash,
+    SlowHostFault,
     available_loads,
     compile_load,
     fault_load,
@@ -65,6 +69,7 @@ from repro.campaign.spec import (
 )
 
 __all__ = [
+    "AsymPartition",
     "CampaignRunner",
     "CampaignSpec",
     "CampaignSummary",
@@ -73,9 +78,12 @@ __all__ = [
     "DelaySpike",
     "DependabilityScore",
     "FaultEntry",
+    "FlakyLinkFault",
     "HostCrash",
     "LossBurst",
+    "Partition",
     "ProcessCrash",
+    "SlowHostFault",
     "RankWeights",
     "ResultsStore",
     "SCHEMA_VERSION",

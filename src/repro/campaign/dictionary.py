@@ -154,6 +154,104 @@ class CpuHog(FaultEntry):
             busy_us=self.busy_us)
 
 
+@dataclass(frozen=True)
+class Partition(FaultEntry):
+    """Topology fault: a symmetric network split that isolates one
+    replica's host (default: the last replica, which never carries
+    the GCS sequencer) from everyone else, healing mid-window."""
+
+    start_fraction: float = 0.3
+    duration_fraction: float = 0.3
+    replica_index: int = -1
+
+    def schedule(self, ctx: "TrialContext") -> None:
+        """Cut the target replica's host off, then heal."""
+        _check_fraction("start_fraction", self.start_fraction)
+        _check_fraction("duration_fraction", self.duration_fraction)
+        index = (len(ctx.replicas) - 1 if self.replica_index < 0
+                 else min(self.replica_index, len(ctx.replicas) - 1))
+        start = ctx.t0 + self.start_fraction * ctx.duration_us
+        ctx.injector.partition_at(
+            [[ctx.replicas[index].process.host.name]],
+            start,
+            start + max(self.duration_fraction * ctx.duration_us, 1.0))
+
+
+@dataclass(frozen=True)
+class AsymPartition(FaultEntry):
+    """Topology fault: one-way reachability loss — frames *from* the
+    target replica's host are dropped while frames *to* it still
+    arrive, the classic gray-failure shape a symmetric-split model
+    cannot express."""
+
+    start_fraction: float = 0.3
+    duration_fraction: float = 0.3
+    replica_index: int = -1
+
+    def schedule(self, ctx: "TrialContext") -> None:
+        """Drop the target host's outbound frames for the window."""
+        _check_fraction("start_fraction", self.start_fraction)
+        _check_fraction("duration_fraction", self.duration_fraction)
+        index = (len(ctx.replicas) - 1 if self.replica_index < 0
+                 else min(self.replica_index, len(ctx.replicas) - 1))
+        src = ctx.replicas[index].process.host.name
+        dst = sorted(h for h in ctx.testbed.network.hosts if h != src)
+        start = ctx.t0 + self.start_fraction * ctx.duration_us
+        ctx.injector.asymmetric_partition_at(
+            [src], dst, start,
+            start + max(self.duration_fraction * ctx.duration_us, 1.0))
+
+
+@dataclass(frozen=True)
+class FlakyLinkFault(FaultEntry):
+    """Gray failure: Bernoulli frame loss on the single link pair
+    between two replicas' hosts — every other link stays clean, so
+    only path-sensitive detection notices."""
+
+    start_fraction: float = 0.3
+    duration_fraction: float = 0.3
+    rate: float = 0.5
+    replica_a: int = 0
+    replica_b: int = -1
+
+    def schedule(self, ctx: "TrialContext") -> None:
+        """Make the one link between the two replicas lossy."""
+        _check_fraction("start_fraction", self.start_fraction)
+        _check_fraction("duration_fraction", self.duration_fraction)
+        last = len(ctx.replicas) - 1
+        a = ctx.replicas[min(self.replica_a, last)].process.host.name
+        b_index = last if self.replica_b < 0 else min(self.replica_b,
+                                                      last)
+        b = ctx.replicas[b_index].process.host.name
+        start = ctx.t0 + self.start_fraction * ctx.duration_us
+        ctx.injector.flaky_link(
+            a, b, self.rate, start,
+            start + max(self.duration_fraction * ctx.duration_us, 1.0))
+
+
+@dataclass(frozen=True)
+class SlowHostFault(FaultEntry):
+    """Gray failure: every frame into or out of one replica's host is
+    late by ``extra_us`` — the host is up but slow, the fault class a
+    binary up/down detector mishandles."""
+
+    start_fraction: float = 0.3
+    duration_fraction: float = 0.3
+    extra_us: float = 20_000.0
+    replica_index: int = -1
+
+    def schedule(self, ctx: "TrialContext") -> None:
+        """Slow the target replica's host for the window."""
+        _check_fraction("start_fraction", self.start_fraction)
+        _check_fraction("duration_fraction", self.duration_fraction)
+        index = (len(ctx.replicas) - 1 if self.replica_index < 0
+                 else min(self.replica_index, len(ctx.replicas) - 1))
+        start = ctx.t0 + self.start_fraction * ctx.duration_us
+        ctx.injector.slow_host(
+            ctx.replicas[index].process.host, self.extra_us, start,
+            start + max(self.duration_fraction * ctx.duration_us, 1.0))
+
+
 FaultLoad = Tuple[FaultEntry, ...]
 
 #: The built-in dictionary: every fault class of the paper's fault
@@ -166,11 +264,20 @@ _LOADS: Dict[str, FaultLoad] = {
     "loss_burst": (LossBurst(),),
     "delay_spike": (DelaySpike(),),
     "cpu_hog": (CpuHog(),),
+    "partition": (Partition(),),
+    "asym_partition": (AsymPartition(),),
+    "flaky_link": (FlakyLinkFault(),),
+    "slow_host": (SlowHostFault(),),
     "crash_under_loss": (ProcessCrash(at_fraction=0.5),
                          LossBurst(start_fraction=0.2,
                                    duration_fraction=0.2, rate=0.5)),
     "double_crash": (ProcessCrash(at_fraction=0.3, replica_index=0),
                      ProcessCrash(at_fraction=0.6, replica_index=1)),
+    "partition_under_load": (Partition(start_fraction=0.2,
+                                       duration_fraction=0.4),
+                             SlowHostFault(start_fraction=0.7,
+                                           duration_fraction=0.2,
+                                           replica_index=0)),
 }
 
 

@@ -60,6 +60,7 @@ from repro.check.scenario import (
     CheckScenario,
     PreparedSchedule,
     ScheduleOutcome,
+    canonical_partition_scenario,
     canonical_scenario,
     finish_schedule,
     prepare_schedule,
@@ -83,6 +84,7 @@ __all__ = [
     "ScheduleOutcome",
     "SchedulerPolicy",
     "Violation",
+    "canonical_partition_scenario",
     "canonical_scenario",
     "check_counter_consistency",
     "check_invariants",

@@ -37,6 +37,13 @@ from repro.check.scenario import (
 CRASH_VARIATIONS = (1.0, 0.45, 0.19, 1.6, 0.1, 0.22, 2.4, 0.15,
                     0.05, 0.2)
 
+#: Partition-start multipliers cycled across walks of the partition
+#: scenario.  The split duration (heal - start) is preserved — long
+#: enough for the failure detector to fire and the minority to wedge —
+#: while the cut lands at varied points of the request stream.
+PARTITION_VARIATIONS = (1.0, 0.5, 1.5, 0.25, 2.0, 0.75, 1.25, 0.4,
+                        1.75, 0.6)
+
 
 def verify_outcome(outcome: ScheduleOutcome) -> List[Violation]:
     """Run every checker over one schedule outcome."""
@@ -132,6 +139,12 @@ def explore(scenario: CheckScenario, budget: int = 200,
             variant = replace(
                 scenario,
                 crash_primary_at_us=scenario.crash_primary_at_us * factor)
+        if scenario.partition_at_us is not None:
+            factor = PARTITION_VARIATIONS[i % len(PARTITION_VARIATIONS)]
+            start = scenario.partition_at_us * factor
+            duration = scenario.heal_at_us - scenario.partition_at_us
+            variant = replace(variant, partition_at_us=start,
+                              heal_at_us=start + duration)
         policy = RandomWalkPolicy(seed=base_walk_seed + i,
                                   tie_choices=tie_choices,
                                   delay_bound_us=delay_bound_us)

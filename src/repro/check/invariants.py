@@ -15,6 +15,15 @@ order, which is simulator dispatch order) and reports
   completes and rolls back at one host, every host agrees on the
   switch's from/to styles, and no live host is left wedged in the
   PREPARING phase at the horizon;
+- **daemon view agreement** — daemons that install the same daemon
+  view id must agree on the member host set (the daemon layer's
+  counterpart of group-view synchrony; two partition sides installing
+  concurrent views with one id is the classic split-brain signature);
+- **no split brain** — under primary-partition membership, the hosts
+  of a minority partition component must never install a view drawn
+  from that component alone during the partition window; the ground
+  truth comes from the injector's ``fault.inject`` events, whose
+  ``components`` attribute records the resolved partition cover;
 - **no lost acked updates / at-most-once** — checked against the
   client history and final replica states by
   :func:`check_counter_consistency` (the journal alone cannot see
@@ -199,11 +208,101 @@ def _check_switch_phases(events: Sequence[Any],
     return violations
 
 
+def _check_daemon_view_agreement(events: Sequence[Any]
+                                 ) -> List[Violation]:
+    """Daemon-layer view synchrony: one ``view_id``, one host set."""
+    seen: Dict[int, Tuple[Tuple[str, ...], float]] = {}
+    violations: List[Violation] = []
+    for event in events:
+        if event.kind != "daemon.install":
+            continue
+        view_id = event.attrs.get("view_id")
+        if view_id is None:
+            continue
+        members = tuple(str(m) for m in event.attrs.get("members", ()))
+        key = int(view_id)
+        if key not in seen:
+            seen[key] = (members, event.time_us)
+        elif seen[key][0] != members:
+            violations.append(Violation(
+                invariant="daemon_view_agreement",
+                message=f"daemon view {view_id} installed with "
+                        f"different host sets — concurrent views",
+                time_us=event.time_us,
+                details={"view_id": key, "first": list(seen[key][0]),
+                         "conflicting": list(members),
+                         "host": event.host}))
+    return violations
+
+
+def _partition_windows(events: Sequence[Any]
+                       ) -> List[Tuple[float, float, List[Set[str]]]]:
+    """(start, end, minority components) of every injected symmetric
+    partition, from the injector's ground-truth journal events."""
+    windows: List[Tuple[float, float, List[Set[str]]]] = []
+    for event in events:
+        if event.kind != "fault.inject" \
+                or event.attrs.get("fault") != "partition":
+            continue
+        components = [set(str(h) for h in c)
+                      for c in event.attrs.get("components", ())]
+        if not components:
+            continue
+        total = sum(len(c) for c in components)
+        minorities = [c for c in components if 2 * len(c) <= total]
+        at = float(event.attrs.get("at_us", event.time_us))
+        until = event.attrs.get("until_us")
+        if until is None:
+            continue
+        windows.append((at, float(until), minorities))
+    return windows
+
+
+def _check_no_split_brain(events: Sequence[Any]) -> List[Violation]:
+    """Primary-partition safety: while a symmetric partition is up, no
+    minority component may install a view drawn from itself alone.
+
+    A late install of a *pre-partition* (wider) view racing the cut is
+    not flagged — the signature of a serving minority is precisely an
+    install whose member hosts all sit inside one minority component.
+    """
+    windows = _partition_windows(events)
+    if not windows:
+        return []
+    violations: List[Violation] = []
+    for event in events:
+        if event.kind != "daemon.install":
+            continue
+        members = set(str(m) for m in event.attrs.get("members", ()))
+        if not members:
+            continue
+        for at, until, minorities in windows:
+            if not at < event.time_us <= until:
+                continue
+            for component in minorities:
+                if event.host in component and members <= component:
+                    violations.append(Violation(
+                        invariant="no_split_brain",
+                        message=f"minority component "
+                                f"{sorted(component)} installed its "
+                                f"own view during the partition "
+                                f"window",
+                        time_us=event.time_us,
+                        details={"host": event.host,
+                                 "view_id": event.attrs.get("view_id"),
+                                 "members": sorted(members),
+                                 "component": sorted(component),
+                                 "window": [at, until]}))
+    return violations
+
+
 def check_invariants(events: Sequence[Any]) -> List[Violation]:
     """Run every journal-level monitor; returns all violations."""
     dead = departed_hosts(events)
     violations: List[Violation] = []
     violations.extend(_check_view_agreement(events))
+    violations.extend(_check_daemon_view_agreement(events))
+    violations.extend(_check_no_split_brain(events))
     violations.extend(_check_unique_primary(events))
     violations.extend(_check_switch_phases(events, dead))
     return violations

@@ -52,6 +52,15 @@ class CheckScenario:
     seed: int = 0
     switch_at_us: Optional[float] = 40_000.0
     crash_primary_at_us: Optional[float] = 90_000.0
+    #: Offset (from load start) at which a symmetric partition isolates
+    #: the last replica host into a minority component; ``None``
+    #: disables the partition.  A non-None value is a *prefix*
+    #: parameter in one respect: the testbed is built with
+    #: primary-partition membership enabled.
+    partition_at_us: Optional[float] = None
+    #: Offset at which the partition heals (required with
+    #: ``partition_at_us``; must exceed it).
+    heal_at_us: Optional[float] = None
     horizon_us: float = 8_000_000.0
     settle_us: float = 2_000_000.0
     retry_timeout_us: float = 120_000.0
@@ -66,11 +75,35 @@ class CheckScenario:
         """Inverse of :meth:`to_dict`."""
         return cls(**data)
 
+    @property
+    def partitioned(self) -> bool:
+        """True when this scenario injects a network partition."""
+        return self.partition_at_us is not None
+
 
 def canonical_scenario(seed: int = 0,
                        mutation: Optional[str] = None) -> CheckScenario:
     """The default crash/switch scenario the CI smoke job explores."""
     return CheckScenario(seed=seed, mutation=mutation)
+
+
+def canonical_partition_scenario(seed: int = 0,
+                                 mutation: Optional[str] = None
+                                 ) -> CheckScenario:
+    """The canonical partition scenario: no switch, no crash — instead
+    a symmetric split isolates the last replica host into a minority
+    for two seconds mid-load, then heals.
+
+    Under primary-partition membership the minority daemon must wedge
+    (no concurrent view), the majority must keep serving the client
+    (which sits majority-side with the sequencer), and the heal must
+    merge views and re-sync the minority replica — all while the
+    no-split-brain, no-lost-acked and at-most-once invariants hold.
+    """
+    return CheckScenario(seed=seed, mutation=mutation,
+                         switch_at_us=None, crash_primary_at_us=None,
+                         partition_at_us=8_000.0,
+                         heal_at_us=2_008_000.0)
 
 
 @dataclass
@@ -130,11 +163,25 @@ def _mutate_forget_seen_cache(replicas) -> None:
         replicator._receive_checkpoint = patched
 
 
+def _mutate_minority_serves(replicas) -> None:
+    """Partition sabotage: switch the replicas' daemons back to
+    partitionable membership, so a minority component installs its own
+    concurrent view and keeps serving instead of wedging — the
+    split-brain the primary-partition protocol exists to prevent.
+    The checker must catch it via ``no_split_brain`` (a minority-only
+    view inside the injected partition window) and/or
+    ``daemon_view_agreement`` (two views sharing one id)."""
+    for replica in replicas:
+        daemon = replica.replicator.gcs.daemon
+        daemon.cal = replace(daemon.cal, primary_partition=False)
+
+
 #: Named protocol mutations for checker self-tests: name -> function
 #: applied to the deployed replica list before the load starts.
 MUTATIONS: Dict[str, Callable[[Any], None]] = {
     "skip_final_checkpoint": _mutate_skip_final_checkpoint,
     "forget_seen_cache": _mutate_forget_seen_cache,
+    "minority_serves": _mutate_minority_serves,
 }
 
 
@@ -174,9 +221,21 @@ def prepare_schedule(scenario: CheckScenario) -> PreparedSchedule:
             f"unknown mutation {scenario.mutation!r}; "
             f"known: {sorted(MUTATIONS)}")
 
+    if scenario.partitioned and (scenario.heal_at_us is None
+                                 or scenario.heal_at_us
+                                 <= scenario.partition_at_us):
+        raise VerificationError(
+            "a partition scenario needs heal_at_us > partition_at_us")
+
     calibration = default_calibration()
     calibration = replace(
         calibration, journal=replace(calibration.journal, enabled=True))
+    if scenario.partitioned:
+        # Partition scenarios run the primary-partition membership
+        # protocol (prefix parameter: it shapes the deployed daemons).
+        calibration = replace(
+            calibration,
+            gcs=replace(calibration.gcs, primary_partition=True))
     # Always install the identity policy: the warmup then runs with
     # (0, n) sequence tuples — ordered exactly like the plain integer
     # counter — and finish_schedule() can swap in the walk policy
@@ -236,10 +295,12 @@ def finish_schedule(prepared: PreparedSchedule,
           or scenario.checkpoint_interval
           != prepared.scenario.checkpoint_interval
           or scenario.retry_timeout_us
-          != prepared.scenario.retry_timeout_us):
+          != prepared.scenario.retry_timeout_us
+          or scenario.partitioned != prepared.scenario.partitioned):
         raise VerificationError(
             "finish_schedule scenario differs from the prepared one "
-            "in prefix parameters (replicas/seed/checkpoint/retry)")
+            "in prefix parameters (replicas/seed/checkpoint/retry/"
+            "partition membership)")
     testbed = prepared.testbed
     replicas = prepared.replicas
     client = prepared.client
@@ -275,13 +336,25 @@ def finish_schedule(prepared: PreparedSchedule,
                 pass  # already there (e.g. a rollback raced the timer)
 
         testbed.sim.schedule_at(start + scenario.switch_at_us, fire_switch)
-    if scenario.crash_primary_at_us is not None:
+    if scenario.crash_primary_at_us is not None \
+            or scenario.partitioned:
         # Through the injector (not a raw kill) so the journal carries
-        # the fault.inject ground truth the availability accounting
-        # and the SLO fault/alert cross-check match against.
+        # the fault.inject ground truth the availability accounting,
+        # the split-brain monitor and the SLO fault/alert cross-check
+        # match against.
         injector = FaultInjector(testbed.sim, testbed.network)
-        injector.crash_process_at(replicas[0].process,
-                                  start + scenario.crash_primary_at_us)
+        if scenario.crash_primary_at_us is not None:
+            injector.crash_process_at(replicas[0].process,
+                                      start + scenario.crash_primary_at_us)
+        if scenario.partitioned:
+            # Isolate the LAST replica host: the sequencer (lowest
+            # host) and the client both stay majority-side, so the
+            # majority keeps serving and no acked update can be
+            # stranded minority-side.
+            minority = f"s{scenario.n_replicas:02d}"
+            injector.partition_at([[minority]],
+                                  start + scenario.partition_at_us,
+                                  start + scenario.heal_at_us)
     next_request(scenario.n_requests)
     testbed.run(scenario.horizon_us)
 

@@ -295,6 +295,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     """Explore schedule space; replay or minimize repro artifacts."""
     from repro.check import (
         MUTATIONS,
+        canonical_partition_scenario,
         canonical_scenario,
         explore,
         load_artifact,
@@ -352,7 +353,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 1
 
     # Explore mode (the default).
-    scenario = canonical_scenario(seed=args.seed, mutation=args.mutation)
+    if args.scenario == "partition":
+        scenario = canonical_partition_scenario(seed=args.seed,
+                                                mutation=args.mutation)
+    else:
+        scenario = canonical_scenario(seed=args.seed,
+                                      mutation=args.mutation)
     result = explore(scenario, budget=args.budget,
                      base_walk_seed=args.walk_seed,
                      tie_choices=args.tie_choices,
@@ -772,6 +778,14 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument("--minimize", metavar="ARTIFACT",
                       help="greedily shrink a repro artifact while it "
                            "still fails, then replay it")
+    check_parser.add_argument("--scenario",
+                              choices=("crash", "partition"),
+                              default="crash",
+                              help="canonical scenario to explore: "
+                                   "the crash/switch default, or the "
+                                   "partition/heal/merge scenario "
+                                   "under primary-partition "
+                                   "membership (default crash)")
     check_parser.add_argument("--budget", type=int, default=200,
                               help="schedules to explore (default 200)")
     check_parser.add_argument("--walk-seed", type=int, default=0,

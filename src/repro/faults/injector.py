@@ -10,11 +10,18 @@ experiment report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.loss import BurstLoss, DelaySpike
 from repro.net.network import Network
+from repro.net.topology import (
+    AsymmetricPartition,
+    FlakyLink,
+    LinkFilter,
+    PartitionFilter,
+    SlowHost,
+)
 from repro.sim.host import Host, Process
 from repro.sim.kernel import Simulator
 
@@ -37,15 +44,19 @@ class FaultInjector:
         self.network = network
         self.injected: List[InjectedFault] = []
 
-    def _record(self, fault: InjectedFault, host: str) -> None:
+    def _record(self, fault: InjectedFault, host: str, **attrs) -> None:
         """Book-keep one injection; also journal it as ground truth
-        for the detection cross-check (no-op when the journal is off)."""
+        for the detection cross-check (no-op when the journal is off).
+        Extra ``attrs`` ride along on the journal event — the topology
+        faults record their resolved component cover this way so the
+        split-brain checker has machine-readable ground truth."""
         self.injected.append(fault)
         journal = self.sim.journal
         if journal.enabled:
             journal.record(self.sim.now, host, "injector", "fault.inject",
                            fault=fault.kind, target=fault.target,
-                           at_us=fault.at_us, until_us=fault.until_us)
+                           at_us=fault.at_us, until_us=fault.until_us,
+                           **attrs)
 
     # ------------------------------------------------------------------
     # Crash faults
@@ -88,6 +99,18 @@ class FaultInjector:
         def do_restart() -> None:
             if process.host.alive and restart is not None:
                 restart()
+                return
+            if not process.host.alive:
+                # The ground-truth fault.inject event promised recovery
+                # at until_us; it never happened.  Record the skip so
+                # availability accounting can fall back to crash-only
+                # semantics instead of under-billing MTTR.
+                journal = self.sim.journal
+                if journal.enabled:
+                    journal.record(
+                        self.sim.now, process.host.name, "injector",
+                        "fault.restart_skipped", target=process.name,
+                        at_us=at_us, until_us=at_us + restart_after_us)
 
         self.sim.schedule_at(at_us + restart_after_us, do_restart)
         self._record(InjectedFault(
@@ -108,6 +131,116 @@ class FaultInjector:
             kind="loss_burst", target=f"rate={rate}", at_us=start_us,
             until_us=end_us), host="net")
         return model
+
+    # ------------------------------------------------------------------
+    # Topology faults: partitions and gray failures
+    # ------------------------------------------------------------------
+    def _install_filter(self, filt: LinkFilter, end_us: float) -> None:
+        """Install a topology filter and schedule its removal at heal
+        time, so a healed network pays nothing per frame."""
+        self.network.add_link_filter(filt)
+        self.sim.schedule_at(
+            end_us, self.network.remove_link_filter, filt)
+
+    def _check_hosts(self, names: Iterable[str]) -> Tuple[str, ...]:
+        ordered = tuple(sorted(names))
+        for name in ordered:
+            if name not in self.network.hosts:
+                raise ConfigurationError(
+                    f"unknown host in topology fault: {name}")
+        return ordered
+
+    def partition_at(self, components: Iterable[Iterable[str]],
+                     start_us: float, end_us: float) -> PartitionFilter:
+        """Symmetric network split: hosts in different components
+        cannot exchange frames in ``[start_us, end_us)``; the split
+        heals at ``end_us``.
+
+        ``components`` lists disjoint host-name groups.  Attached
+        hosts named in no group form one implicit remainder component,
+        so ``partition_at([["s03"]], t0, t1)`` isolates ``s03`` from
+        everyone else.  The journal ground truth records the *resolved*
+        cover, which is what the split-brain invariant checks against.
+        """
+        self._check_future(start_us)
+        self._check_window(start_us, end_us)
+        resolved = [frozenset(self._check_hosts(c))
+                    for c in components if tuple(c)]
+        named = set().union(*resolved) if resolved else set()
+        remainder = frozenset(h for h in self.network.hosts
+                              if h not in named)
+        if remainder:
+            resolved.append(remainder)
+        if len(resolved) < 2:
+            raise ConfigurationError(
+                "a partition needs at least two components")
+        cover = tuple(sorted(resolved, key=sorted))
+        filt = PartitionFilter(cover, start_us, end_us)
+        self._install_filter(filt, end_us)
+        label = "|".join("+".join(sorted(c)) for c in cover)
+        self._record(InjectedFault(
+            kind="partition", target=label, at_us=start_us,
+            until_us=end_us), host="net",
+            components=[sorted(c) for c in cover])
+        return filt
+
+    def asymmetric_partition_at(self, src_hosts: Iterable[str],
+                                dst_hosts: Iterable[str],
+                                start_us: float,
+                                end_us: float) -> AsymmetricPartition:
+        """One-way reachability failure: frames from ``src_hosts`` to
+        ``dst_hosts`` are dropped in the window; the reverse direction
+        still works."""
+        self._check_future(start_us)
+        self._check_window(start_us, end_us)
+        src = self._check_hosts(src_hosts)
+        dst = self._check_hosts(dst_hosts)
+        filt = AsymmetricPartition(frozenset(src), frozenset(dst),
+                                   start_us, end_us)
+        self._install_filter(filt, end_us)
+        self._record(InjectedFault(
+            kind="asym_partition",
+            target=f"{'+'.join(src)}->{'+'.join(dst)}",
+            at_us=start_us, until_us=end_us), host="net",
+            src_hosts=list(src), dst_hosts=list(dst))
+        return filt
+
+    def flaky_link(self, a: str, b: str, rate: float,
+                   start_us: float, end_us: float,
+                   symmetric: bool = True) -> FlakyLink:
+        """Per-link Bernoulli loss on the ``a``/``b`` host pair."""
+        self._check_future(start_us)
+        self._check_window(start_us, end_us)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"loss rate must be in [0, 1], got {rate}")
+        self._check_hosts((a, b))
+        filt = FlakyLink(a, b, rate, start_us, end_us,
+                         symmetric=symmetric)
+        self._install_filter(filt, end_us)
+        arrow = "<->" if symmetric else "->"
+        self._record(InjectedFault(
+            kind="flaky_link", target=f"{a}{arrow}{b}",
+            at_us=start_us, until_us=end_us), host="net",
+            rate=rate, symmetric=symmetric)
+        return filt
+
+    def slow_host(self, host: Host, extra_us: float,
+                  start_us: float, end_us: float) -> SlowHost:
+        """Gray failure: every frame into or out of ``host`` is
+        delayed by ``extra_us`` in the window — the host is up but
+        late, the fault class a binary up/down detector mishandles."""
+        self._check_future(start_us)
+        self._check_window(start_us, end_us)
+        if extra_us < 0:
+            raise ConfigurationError("extra delay must be non-negative")
+        self._check_hosts((host.name,))
+        filt = SlowHost(host.name, extra_us, start_us, end_us)
+        self._install_filter(filt, end_us)
+        self._record(InjectedFault(
+            kind="slow_host", target=host.name, at_us=start_us,
+            until_us=end_us), host=host.name, extra_us=extra_us)
+        return filt
 
     # ------------------------------------------------------------------
     # Performance / timing faults

@@ -48,6 +48,7 @@ from repro.gcs.messages import (
     FlushRequest,
     Forward,
     Grade,
+    GroupSnapshot,
     GroupView,
     Heartbeat,
     JoinRequest,
@@ -56,6 +57,7 @@ from repro.gcs.messages import (
     LinkData,
     MemberId,
     RawData,
+    RejoinRequest,
     Stamped,
     StampKind,
     ViewInstall,
@@ -187,6 +189,13 @@ class GcsDaemon(Actor):
         self._flush_epoch = 0          # highest flush epoch seen
         self._flush_acks: Dict[str, FlushAck] = {}
         self._flush_proposal: Optional[Tuple[str, ...]] = None
+
+        # Primary-partition state (only used when the calibration
+        # enables primary_partition): wedged means this daemon found
+        # itself in a minority component and stopped serving;
+        # _rejoiners are wedged peers probing us for re-admission.
+        self._wedged = False
+        self._rejoiners: Set[str] = set()
 
         self.set_periodic_timer("heartbeat", self.cal.heartbeat_interval_us,
                                 self._send_heartbeats)
@@ -366,6 +375,8 @@ class GcsDaemon(Actor):
         elif isinstance(payload, RawData):
             # Best-effort data: no CPU-intensive ordering, deliver now.
             self._cpu(lambda: self._deliver_raw(payload))
+        elif isinstance(payload, RejoinRequest):
+            self._cpu(lambda: self._on_rejoin_request(payload))
         else:  # pragma: no cover - unknown frames dropped like real UDP
             self.trace("gcs.drop", f"unknown frame kind {type(payload)}")
 
@@ -428,6 +439,8 @@ class GcsDaemon(Actor):
             self._on_flush_request(inner)
         elif isinstance(inner, FlushAck):
             self._on_flush_ack(inner)
+        elif isinstance(inner, GroupSnapshot):
+            self._on_group_snapshot(inner)
         elif isinstance(inner, ViewInstall):
             self._on_view_install(inner)
         else:  # pragma: no cover
@@ -821,6 +834,9 @@ class GcsDaemon(Actor):
             send(src, target, beat, nbytes, kind="gcs.heartbeat")
 
     def _check_failures(self) -> None:
+        if self._wedged:
+            self._check_heal()
+            return
         candidates = [peer for peer in self.view.members
                       if peer != self.host.name
                       and peer not in self._suspects]
@@ -840,13 +856,185 @@ class GcsDaemon(Actor):
     def _live_members(self) -> Tuple[str, ...]:
         return tuple(m for m in self.view.members if m not in self._suspects)
 
+    def _has_majority(self, live: Sequence[str]) -> bool:
+        """Primary-partition quorum test: strictly more than half of
+        the *current view* must be reachable to keep serving."""
+        return 2 * len(live) > len(self.view.members)
+
     def _maybe_start_flush(self) -> None:
         live = self._live_members()
         if not live or live == self.view.members:
             return
+        if self.cal.primary_partition and not self._has_majority(live):
+            # Minority component: never install a concurrent
+            # fully-operational view — wedge and wait for heal.
+            self._wedge(live)
+            return
         if min(live) != self.host.name:
             return  # not the coordinator; wait (or take over on timeout)
         self._start_flush(live)
+
+    # ==================================================================
+    # Primary-partition membership: wedge, probe, heal, merge
+    # ==================================================================
+    def _wedge(self, live: Tuple[str, ...]) -> None:
+        """Enter the degraded non-serving state: we can only reach a
+        minority of the view, so forming a view would risk split-brain.
+        Client operations are buffered (the ``_suspended`` outbox),
+        links are closed so the eventual merge starts with fresh
+        sequence state, and a periodic rejoin probe looks for heal."""
+        if self._wedged:
+            return
+        self._wedged = True
+        self._suspended = True
+        for link in list(self._links.values()):
+            link.close()
+        self._links.clear()
+        self._sends.clear()
+        groups = sorted(self._groups)
+        self.trace("gcs.partition",
+                   f"minority component {sorted(live)} of "
+                   f"{list(self.view.members)}: wedged",
+                   live=sorted(live), suspects=sorted(self._suspects))
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record(self.sim.now, self.host.name, "gcs",
+                           "partition.detected", live=sorted(live),
+                           suspects=sorted(self._suspects),
+                           members=list(self.view.members))
+            journal.record(self.sim.now, self.host.name, "gcs",
+                           "partition.wedged", live=sorted(live),
+                           members=list(self.view.members),
+                           groups=groups)
+        self.set_periodic_timer("rejoin", self.cal.rejoin_probe_interval_us,
+                                self._probe_rejoin)
+
+    def _probe_rejoin(self) -> None:
+        """While wedged, probe unreachable peers with raw rejoin
+        frames; the copy that crosses a healed partition triggers the
+        majority coordinator's merge flush."""
+        if not self._wedged:
+            self.cancel_timer("rejoin")
+            return
+        probe = RejoinRequest(sender=self.host.name,
+                              view_id=self.view.view_id)
+        nbytes = estimate_control_bytes(probe)
+        # Probe every other member of the (stale) view, not just the
+        # suspects: the wedge may have fired before every unreachable
+        # peer went stale, and the coordinator of the majority side —
+        # the one daemon whose reaction matters — can be any of them.
+        targets = [p for p in self.view.members if p != self.host.name]
+        for peer in targets:
+            self.network.send(self.endpoint, Endpoint(peer, GCS_PORT),
+                              probe, nbytes, kind="gcs.rejoin")
+
+    def _check_heal(self) -> None:
+        """Wedged-side heal detection: if recently-heard peers restore
+        a majority, un-suspect them and (as coordinator) start the
+        merge flush.  Covers the symmetric case where no component had
+        a majority, so no side installed a view and heartbeats resume
+        flowing after heal; the asymmetric case (majority installed
+        without us) is driven by the rejoin probes instead."""
+        horizon = self.sim.now - self.cal.failure_timeout_us
+        recovered = {p for p in self._suspects
+                     if self._last_heard.get(p, -1.0) >= horizon}
+        live = tuple(m for m in self.view.members
+                     if m not in self._suspects or m in recovered)
+        if not self._has_majority(live):
+            return
+        self._suspects -= recovered
+        if min(live) == self.host.name and self._flush_proposal is None:
+            self._start_flush(live)
+
+    def _on_rejoin_request(self, request: RejoinRequest) -> None:
+        """A wedged peer probes for re-admission.  Only the current
+        coordinator acts, and only while not itself wedged; the merge
+        is an ordinary flush whose proposal includes the rejoiners."""
+        if not self.cal.primary_partition or self._wedged:
+            return
+        sender = request.sender
+        if sender == self.host.name:
+            return
+        if sender in self._view_set and sender not in self._suspects:
+            return  # already a live member; stray probe after merge
+        self._rejoiners.add(sender)
+        live = self._live_members()
+        if self._suspended or not live or min(live) != self.host.name:
+            return  # probes repeat; a later one lands after the flush
+        proposal = tuple(sorted(set(live) | self._rejoiners))
+        self._start_flush(proposal)
+
+    def _build_group_snapshot(self, epoch: int) -> GroupSnapshot:
+        """Authoritative per-group state for a rejoiner, sent ahead of
+        the merge install on the same reliable link."""
+        groups: Dict[str, Tuple[Tuple[MemberId, ...], int, int]] = {}
+        recent: Dict[str, List[Stamped]] = {}
+        clocks: Dict[str, Dict[str, int]] = {}
+        for group in sorted(self._groups):
+            state = self._groups[group]
+            groups[group] = (tuple(state.members), state.view_id,
+                             state.last_stamp)
+            window = list(state.history.values())[-FLUSH_HISTORY_WINDOW:]
+            recent[group] = window
+            clock = state.causal_clock.snapshot()
+            if clock:
+                clocks[group] = clock
+        return GroupSnapshot(epoch=epoch, groups=groups, recent=recent,
+                             causal_clocks=clocks)
+
+    def _on_group_snapshot(self, snapshot: GroupSnapshot) -> None:
+        """Rejoiner side: discard stale (possibly forked) group state
+        and adopt the majority's.  The merge install's recovery stamps
+        apply on top, so the rejoiner ends at the same cut as every
+        survivor; its own members re-join after the install."""
+        if snapshot.epoch < self._flush_epoch:
+            return
+        self._groups = {}
+        self._safe_held.clear()
+        self._safe_awaiting.clear()
+        self._causal_holdback.clear()
+        self._pending_forwards.clear()
+        for group in sorted(snapshot.groups):
+            members, view_id, last_seq = snapshot.groups[group]
+            state = self._group(group)
+            state.members = list(members)
+            state.view_id = view_id
+            state.last_stamp = last_seq
+            for stamp in snapshot.recent.get(group, ()):
+                state.history[stamp.seq] = stamp
+                if stamp.msg_id:
+                    state.recent_msg_ids.add(stamp.msg_id)
+            clock = snapshot.causal_clocks.get(group)
+            if clock:
+                state.causal_clock = VectorClock(clock)
+            self._rebuild_group_routing(state)
+
+    def _heal_wedge(self) -> None:
+        """Called on the merge install at a previously wedged daemon:
+        resume serving and re-submit joins for local members the
+        majority removed while we were away."""
+        self._wedged = False
+        self.cancel_timer("rejoin")
+        self.trace("gcs.partition",
+                   f"healed into daemon view {self.view.view_id}")
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record(self.sim.now, self.host.name, "gcs",
+                           "partition.healed", view_id=self.view.view_id,
+                           members=list(self.view.members),
+                           groups=sorted(self._groups))
+        for member in sorted(self._local_joins):
+            if member not in self._clients:
+                continue
+            for group in sorted(self._local_joins[member]):
+                state = self._groups.get(group)
+                if state is not None and member in state.members:
+                    continue
+                msg_id = self._new_msg_id()
+                request = JoinRequest(group=group, member=member,
+                                      msg_id=msg_id)
+                self._pending_membership[msg_id] = request
+                self._route_to_sequencer(request)
 
     # ==================================================================
     # View change: flush protocol
@@ -860,7 +1048,8 @@ class GcsDaemon(Actor):
                    f"flush epoch {self._flush_epoch} proposal {list(proposal)}",
                    epoch=self._flush_epoch, proposal=list(proposal))
         request = FlushRequest(epoch=self._flush_epoch,
-                               proposer=self.host.name, members=proposal)
+                               proposer=self.host.name, members=proposal,
+                               proposer_view_id=self.view.view_id)
         for peer in proposal:
             if peer == self.host.name:
                 self._on_flush_request(request)
@@ -876,10 +1065,18 @@ class GcsDaemon(Actor):
         self._suspended = True
         histories: Dict[str, Dict[int, Stamped]] = {}
         next_seqs: Dict[str, int] = {}
-        for group, state in self._groups.items():
-            recent = list(state.history.items())[-FLUSH_HISTORY_WINDOW:]
-            histories[group] = dict(recent)
-            next_seqs[group] = state.last_stamp + 1
+        if self._wedged and request.proposer_view_id > self.view.view_id:
+            # Merge after an asymmetric wedge: the proposer installed
+            # views we missed, so our group state is stale and any
+            # stamps we hold beyond the shared prefix are forked.
+            # Report nothing — the coordinator's GroupSnapshot plus
+            # the install's recovery stamps rebuild us at its cut.
+            pass
+        else:
+            for group, state in self._groups.items():
+                recent = list(state.history.items())[-FLUSH_HISTORY_WINDOW:]
+                histories[group] = dict(recent)
+                next_seqs[group] = state.last_stamp + 1
         ack = FlushAck(epoch=request.epoch, sender=self.host.name,
                        histories=histories, next_seqs=next_seqs)
         if request.proposer == self.host.name:
@@ -914,7 +1111,22 @@ class GcsDaemon(Actor):
                               members=self._flush_proposal)
         install = ViewInstall(epoch=self._flush_epoch, view=new_view,
                               recovery=recovery, next_seqs=next_seqs)
+        # Hosts re-admitted after a partition (in the proposal but not
+        # in our current view) first get the authoritative group state,
+        # then the install — sent before our own install so that
+        # anything the resumed coordinator pushes at them afterwards
+        # arrives behind the snapshot on the ordered link.
+        rejoiners = set(self._flush_proposal) - set(self.view.members)
+        if rejoiners:
+            snapshot = self._build_group_snapshot(self._flush_epoch)
+            snap_bytes = estimate_control_bytes(snapshot)
+            for peer in sorted(rejoiners):
+                self._link(peer).send(snapshot, snap_bytes)
+                self._link(peer).send(install,
+                                      estimate_control_bytes(install))
         for peer in self._flush_proposal:
+            if peer in rejoiners:
+                continue
             if peer == self.host.name:
                 self._on_view_install(install)
             else:
@@ -928,6 +1140,12 @@ class GcsDaemon(Actor):
         were waiting for, then restart the flush if we now coordinate.
         """
         if not self._suspended:
+            return
+        if self._wedged:
+            # A merge attempt stalled (peer died or re-partitioned
+            # mid-flush); clear it so the heal check can retry.
+            self._flush_proposal = None
+            self._flush_acks = {}
             return
         live = self._live_members()
         if self._flush_proposal is not None and min(live) == self.host.name:
@@ -947,6 +1165,10 @@ class GcsDaemon(Actor):
                                self._on_flush_timeout)
                 return
         proposal = self._live_members()
+        if self.cal.primary_partition and proposal \
+                and not self._has_majority(proposal):
+            self._wedge(proposal)
+            return
         if proposal and min(proposal) == self.host.name:
             self._start_flush(proposal)
 
@@ -1000,6 +1222,7 @@ class GcsDaemon(Actor):
         self._suspended = False
         self._flush_proposal = None
         self._flush_acks = {}
+        self._rejoiners -= set(install.view.members)
         for request in list(self._pending_membership.values()):
             self._route_to_sequencer(request)
         pending = list(self._pending_forwards.values())
@@ -1008,6 +1231,10 @@ class GcsDaemon(Actor):
         outbox, self._outbox = self._outbox, []
         for op in outbox:
             op()
+        # 5. If we were wedged in a minority component, this install is
+        #    the heal: resume serving and re-join our local members.
+        if self._wedged:
+            self._heal_wedge()
 
     # ==================================================================
     # Internals

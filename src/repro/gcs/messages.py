@@ -276,11 +276,20 @@ class RawData(_CarriesTrace):
 @dataclass(frozen=True, slots=True)
 class FlushRequest:
     """Coordinator proposes a new daemon view; recipients must stop
-    sending application data and report their per-group progress."""
+    sending application data and report their per-group progress.
+
+    ``proposer_view_id`` is the proposer's installed daemon view at
+    proposal time.  A wedged (minority-partition) daemon compares it
+    against its own: a higher value proves the majority installed
+    views it missed, so its local state is stale — it acks with empty
+    histories and waits for the coordinator's :class:`GroupSnapshot`
+    instead of polluting the union cut with forked stamps.
+    """
 
     epoch: int
     proposer: str
     members: Tuple[str, ...]
+    proposer_view_id: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -315,6 +324,45 @@ class ViewInstall:
     next_seqs: Dict[str, int]
 
 
+@dataclass(frozen=True, slots=True)
+class RejoinRequest:
+    """A wedged daemon probes a peer after a suspected partition.
+
+    Sent as a raw (unreliable) frame, periodically, to every
+    unreachable peer while wedged: once the partition heals, the copy
+    that reaches the majority coordinator triggers a merge flush whose
+    proposal includes the sender.  ``view_id`` is the sender's last
+    installed daemon view, so the coordinator can tell a stale
+    rejoiner from an echo of its own component.
+    """
+
+    sender: str
+    view_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class GroupSnapshot:
+    """Coordinator -> rejoiner, ahead of the merge ViewInstall.
+
+    A daemon re-admitted after a partition cannot trust its own group
+    state: while it was wedged the majority removed its members and
+    kept stamping, so flush-history recovery alone cannot rebuild
+    membership.  The snapshot carries the authoritative per-group
+    state — members in join order, view id, last stamp seq, and the
+    recent stamp window for duplicate suppression — which the rejoiner
+    adopts wholesale before applying the install; its own (stale,
+    possibly forked) state is discarded.
+    """
+
+    epoch: int
+    #: group -> (members in join order, view_id, last_seq)
+    groups: Dict[str, Tuple[Tuple[MemberId, ...], int, int]]
+    #: group -> recent Stamped window (duplicate suppression + history)
+    recent: Dict[str, List[Stamped]]
+    #: group -> causal vector clock (keyed by origin host)
+    causal_clocks: Dict[str, Dict[str, int]]
+
+
 def estimate_control_bytes(message: Any) -> int:
     """On-wire size estimate for control messages without a payload
     size of their own (flush traffic, acks, heartbeats)."""
@@ -324,8 +372,20 @@ def estimate_control_bytes(message: Any) -> int:
         return 28
     if isinstance(message, (JoinRequest, LeaveRequest)):
         return 64
+    if isinstance(message, RejoinRequest):
+        return 24
     if isinstance(message, FlushRequest):
         return 48 + 16 * len(message.members)
+    if isinstance(message, GroupSnapshot):
+        total = 64
+        for members, _view_id, _last in message.groups.values():
+            total += 32 + 16 * len(members)
+        for stamps in message.recent.values():
+            for stamped in stamps:
+                total += 48 + stamped.payload_bytes
+        for clock in message.causal_clocks.values():
+            total += 12 * len(clock)
+        return total
     if isinstance(message, FlushAck):
         total = 64
         for history in message.histories.values():

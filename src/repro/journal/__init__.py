@@ -30,9 +30,11 @@ from repro.journal.availability import (
     availability_report,
     discover_shards,
     event_shard,
+    event_shards,
     match_faults,
     per_shard_reports,
     switch_windows,
+    wedge_windows,
 )
 from repro.journal.events import ADAPTATION_DECISION, Journal, JournalEvent
 from repro.journal.io import (
@@ -56,6 +58,7 @@ __all__ = [
     "availability_report",
     "discover_shards",
     "event_shard",
+    "event_shards",
     "event_to_line",
     "events_to_jsonl",
     "journal_digest",
@@ -64,5 +67,6 @@ __all__ = [
     "per_shard_reports",
     "read_jsonl",
     "switch_windows",
+    "wedge_windows",
     "write_jsonl",
 ]

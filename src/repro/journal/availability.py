@@ -20,7 +20,20 @@ Interval semantics
   finishing step III (``switch.complete`` / ``switch.rollback``).
   Requests keep completing during a switch — they are queued, not
   dropped — which is exactly what "degraded, not down" means.
+- A minority-**wedge** window (``partition.wedged`` to the matching
+  ``partition.healed`` on the same host) is also degraded, not down:
+  the majority component keeps serving while the wedged minority
+  refuses requests, so the service lost redundancy, not liveness.
 - Everything else is **up**.
+
+Crash-only fallback: a ``crash_restart`` fault promises recovery at
+``until_us``, but the injector skips the restart when the host itself
+is down at restart time and journals ``fault.restart_skipped``.  The
+phantom restart then cannot close the fault's down window — any
+``state.sync`` at or after the promised restart time belongs to some
+other replica — so recovery falls back to crash-only semantics (group
+reconfiguration around the dead member, or never) instead of
+under-billing MTTR.
 """
 
 from __future__ import annotations
@@ -37,11 +50,15 @@ OUTAGE_FAULTS = ("process_crash", "host_crash", "crash_restart")
 #: Event kinds that mark the service as restored after an outage.
 RECOVERY_KINDS = ("failover", "state.sync")
 
-#: Event kinds a non-outage (timing / communication) fault may
-#: legitimately surface as.
+#: Event kinds a non-outage (timing / communication / topology) fault
+#: may legitimately surface as.  Partition faults wedge the minority
+#: (``partition.*``); gray failures (flaky links, slow hosts) trip
+#: client circuit breakers (``client.breaker_open``) or the adaptive
+#: failure detector before anything crashes.
 DEGRADATION_SIGNALS = ("contract.warning", "contract.violated",
                        "adaptation.decision", "client.giveup",
-                       "detector.suspect")
+                       "detector.suspect", "partition.detected",
+                       "partition.wedged", "client.breaker_open")
 
 #: Default window after a fault within which a detection event is
 #: attributed to it (covers heartbeat timeout + flush + settle).
@@ -140,15 +157,39 @@ def _fault_events(events: Sequence[JournalEvent]) -> List[JournalEvent]:
     return [e for e in events if e.kind == "fault.inject"]
 
 
+def _skipped_restarts(events: Sequence[JournalEvent]
+                      ) -> set:
+    """(target, at_us) of every ``crash_restart`` whose restart the
+    injector skipped because the host was down at restart time."""
+    return {(str(e.attrs.get("target", "")),
+             float(e.attrs.get("at_us", e.time_us)))
+            for e in events if e.kind == "fault.restart_skipped"}
+
+
 def _recovery_time(events: Sequence[JournalEvent], fault: JournalEvent,
-                   end_us: float) -> float:
-    """First recovery marker after the fault fires, else ``end_us``."""
+                   end_us: float,
+                   skipped: frozenset = frozenset()) -> float:
+    """First recovery marker after the fault fires, else ``end_us``.
+
+    When the fault is a ``crash_restart`` whose restart was skipped
+    (host down at restart time), crash-only semantics apply: the
+    promised restart never produced a replica, so ``state.sync``
+    markers at or after the promised ``until_us`` are some other
+    replica's and cannot close this fault's window.
+    """
     at = float(fault.attrs.get("at_us", fault.time_us))
     target = str(fault.attrs.get("target", ""))
+    restart_skipped = (target, at) in skipped
+    until = fault.attrs.get("until_us")
+    promised = float(until) if until else None
     for event in events:
         if event.time_us <= at:
             continue
         if event.kind in RECOVERY_KINDS:
+            if (restart_skipped and event.kind == "state.sync"
+                    and promised is not None
+                    and event.time_us >= promised):
+                continue
             return event.time_us
         if event.kind == "membership.view":
             left = [str(m) for m in event.attrs.get("left", ())]
@@ -193,6 +234,28 @@ def switch_windows(events: Sequence[JournalEvent]
             for sid in starts if sid in ends}
 
 
+def wedge_windows(events: Sequence[JournalEvent]
+                  ) -> List[Tuple[str, float, Optional[float]]]:
+    """Per-host minority-wedge windows as ``(host, start, end)``.
+
+    A window opens at ``partition.wedged`` and closes at the first
+    subsequent ``partition.healed`` from the same host; ``end`` is
+    None while the host is still wedged (the caller clips to its
+    observation window).
+    """
+    open_: Dict[str, float] = {}
+    windows: List[Tuple[str, float, Optional[float]]] = []
+    for event in sorted(events, key=lambda e: (e.time_us, e.seq)):
+        if event.kind == "partition.wedged":
+            open_.setdefault(event.host, event.time_us)
+        elif event.kind == "partition.healed" and event.host in open_:
+            windows.append((event.host, open_.pop(event.host),
+                            event.time_us))
+    windows.extend((host, start, None)
+                   for host, start in sorted(open_.items()))
+    return windows
+
+
 def availability_report(events: Sequence[JournalEvent],
                         window_start_us: Optional[float] = None,
                         window_end_us: Optional[float] = None
@@ -212,13 +275,14 @@ def availability_report(events: Sequence[JournalEvent],
     end = (max(times + fault_until, default=start)
            if window_end_us is None else window_end_us)
 
+    skipped = frozenset(_skipped_restarts(ordered))
     down: List[Tuple[float, float]] = []
     n_outages = 0
     for fault in _fault_events(ordered):
         if fault.attrs.get("fault") not in OUTAGE_FAULTS:
             continue
         at = float(fault.attrs.get("at_us", fault.time_us))
-        recovered = _recovery_time(ordered, fault, end)
+        recovered = _recovery_time(ordered, fault, end, skipped)
         lo, hi = max(at, start), min(recovered, end)
         if hi <= lo and not start <= at < end:
             # The outage lies wholly outside the observation window
@@ -229,8 +293,13 @@ def availability_report(events: Sequence[JournalEvent],
         down.append((lo, hi))
     down = _merge(down)
 
-    degraded = _merge([(max(s, start), min(e, end))
-                       for s, e in switch_windows(ordered).values()])
+    # Degraded: style-switch windows plus minority-wedge windows —
+    # the majority keeps serving through both, so neither is downtime.
+    degraded = _merge(
+        [(max(s, start), min(e, end))
+         for s, e in switch_windows(ordered).values()]
+        + [(max(s, start), min(e if e is not None else end, end))
+           for _host, s, e in wedge_windows(ordered)])
     # Downtime trumps degradation: clip degraded out of down intervals.
     clipped: List[Tuple[float, float]] = []
     for d_start, d_end in degraded:
@@ -301,31 +370,53 @@ def discover_shards(events: Sequence[JournalEvent]) -> Tuple[str, ...]:
         if isinstance(group, str) and group \
                 and not group.endswith(".ctl"):
             shards.add(group)
+        for name in event.attrs.get("groups") or ():
+            if isinstance(name, str) and name \
+                    and not name.endswith(".ctl"):
+                shards.add(name)
     return tuple(sorted(shards))
 
 
-def event_shard(event: JournalEvent,
-                shards: Sequence[str]) -> Optional[str]:
-    """Attribute one event to a shard; None means fleet-level.
+def event_shards(event: JournalEvent,
+                 shards: Sequence[str]) -> Tuple[str, ...]:
+    """Every shard one event attributes to; empty means fleet-level.
 
     Priority: the first-class ``shard`` field (cluster emitters), then
     a ``group`` attr naming a known shard (GCS membership), then a
+    ``groups`` list attr (partition wedge/heal events name every group
+    the wedged daemon hosts — the wedge degrades all of them), then a
     ``process`` or fault ``target`` attr with the shard's replica
     prefix (``{shard}-...``, the deterministic deployment naming).
     """
     if event.shard is not None:
-        return event.shard
+        return (event.shard,)
     group = event.attrs.get("group")
     if isinstance(group, str) and group in shards:
-        return group
+        return (group,)
+    listed = tuple(name for name in event.attrs.get("groups") or ()
+                   if isinstance(name, str) and name in shards)
+    if listed:
+        return listed
     for attr in ("process", "target"):
         name = event.attrs.get(attr)
         if not isinstance(name, str):
             continue
         for shard in shards:
             if name == shard or name.startswith(shard + "-"):
-                return shard
-    return None
+                return (shard,)
+    return ()
+
+
+def event_shard(event: JournalEvent,
+                shards: Sequence[str]) -> Optional[str]:
+    """Attribute one event to a single shard; None means fleet-level.
+
+    Multi-group events (see :func:`event_shards`) collapse to their
+    first listed shard here — single-shard callers (alert matching)
+    need one owner, the per-shard fold uses the full set.
+    """
+    attributed = event_shards(event, shards)
+    return attributed[0] if attributed else None
 
 
 def per_shard_reports(events: Sequence[JournalEvent],
@@ -346,9 +437,9 @@ def per_shard_reports(events: Sequence[JournalEvent],
                 else discover_shards(ordered))
     attributed: Dict[str, List[JournalEvent]] = {s: [] for s in universe}
     for event in ordered:
-        shard = event_shard(event, universe)
-        if shard is not None and shard in attributed:
-            attributed[shard].append(event)
+        for shard in event_shards(event, universe):
+            if shard in attributed:
+                attributed[shard].append(event)
     return {shard: availability_report(
                 attributed[shard], window_start_us=window_start_us,
                 window_end_us=window_end_us)

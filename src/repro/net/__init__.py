@@ -7,6 +7,8 @@ Public surface:
 - :class:`NetworkStats`, :class:`HostTraffic` — bandwidth accounting
 - loss models: :class:`RandomLoss`, :class:`BurstLoss`,
   :class:`DelaySpike`, :class:`CompositeLoss`
+- per-link topology filters: :class:`PartitionFilter`,
+  :class:`AsymmetricPartition`, :class:`FlakyLink`, :class:`SlowHost`
 """
 
 from repro.net.frame import FRAME_OVERHEAD_BYTES, Endpoint, Frame
@@ -20,19 +22,31 @@ from repro.net.loss import (
 )
 from repro.net.network import Network
 from repro.net.stats import HostTraffic, NetworkStats, bytes_per_us_to_mbps
+from repro.net.topology import (
+    AsymmetricPartition,
+    FlakyLink,
+    LinkFilter,
+    PartitionFilter,
+    SlowHost,
+)
 
 __all__ = [
+    "AsymmetricPartition",
     "BurstLoss",
     "CompositeLoss",
     "DelaySpike",
     "Endpoint",
     "FRAME_OVERHEAD_BYTES",
+    "FlakyLink",
     "Frame",
     "HostTraffic",
+    "LinkFilter",
     "LossModel",
     "Network",
     "NetworkStats",
+    "PartitionFilter",
     "RampJitter",
     "RandomLoss",
+    "SlowHost",
     "bytes_per_us_to_mbps",
 ]

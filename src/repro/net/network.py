@@ -15,6 +15,7 @@ from typing import Dict, Optional
 from repro.errors import NetworkError
 from repro.net.frame import Endpoint, Frame
 from repro.net.loss import CompositeLoss, LossModel
+from repro.net.topology import LinkFilter
 from repro.net.stats import NetworkStats
 from repro.sim.config import NetworkCalibration
 from repro.sim.host import Host
@@ -32,6 +33,10 @@ class Network:
         self.hosts: Dict[str, Host] = {}
         self.stats = NetworkStats()
         self.loss = CompositeLoss()
+        #: Per-link topology filters (partitions, flaky links, slow
+        #: hosts) judged by ``(src_host, dst_host)``; empty on the hot
+        #: path, see :meth:`transmit`.
+        self.topology: list = []
         self._frame_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -68,6 +73,16 @@ class Network:
     def remove_loss_model(self, model: LossModel) -> None:
         """Uninstall a loss/delay fault model."""
         self.loss.remove(model)
+
+    def add_link_filter(self, filt: LinkFilter) -> None:
+        """Install a per-link topology filter (partition, flaky link,
+        slow host)."""
+        self.topology.append(filt)
+
+    def remove_link_filter(self, filt: LinkFilter) -> None:
+        """Uninstall a topology filter (no-op if absent)."""
+        if filt in self.topology:
+            self.topology.remove(filt)
 
     # ------------------------------------------------------------------
     # Transmission
@@ -117,6 +132,25 @@ class Network:
             # verdict is always (False, 0.0) and consumes no rng, so
             # skipping the call is behaviour-identical.
             extra_delay = 0.0
+
+        if self.topology and src_name != dst_name:
+            # Per-link topology plane.  Loopback frames never cross a
+            # link, so they bypass the filters; with no filters
+            # installed this branch costs one falsy check.  Filters
+            # only consume rng for frames they actually randomize
+            # (FlakyLink in-window on its link), keeping the stream —
+            # and the journal — byte-identical otherwise.
+            for filt in self.topology:
+                f_dropped, f_extra = filt.judge(src_name, dst_name,
+                                                sim.now, sim.rng)
+                if f_dropped:
+                    self.stats.record_drop()
+                    sim.trace.record(sim.now, "net.filter",
+                                     f"frame {frame.src} -> {frame.dst} "
+                                     f"cut by {type(filt).__name__}",
+                                     kind=frame.kind)
+                    return
+                extra_delay += f_extra
 
         wire_bytes = frame.wire_bytes
         self.stats.record_transmit(sim.now, src_name, dst_name, wire_bytes)

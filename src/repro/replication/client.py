@@ -18,10 +18,17 @@ Routing policy
 - **Retries** go AGREED to the whole group, which is correct in every
   style and during style switches; server-side duplicate suppression
   makes retries safe.
+- **Resilience** (optional, :class:`ResiliencePolicy`): retries back
+  off exponentially with deterministic hash-derived jitter, requests
+  carry propagated deadlines, and a per-endpoint circuit breaker stops
+  first attempts from chasing a primary that has stopped answering
+  (e.g. one wedged in a minority partition) — they fall back to the
+  group multicast the reachable majority serves.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReplicationError
@@ -44,7 +51,8 @@ from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS_US
 class _Outstanding:
     """Book-keeping for one not-yet-answered invocation."""
 
-    __slots__ = ("rep", "on_reply", "attempts", "votes", "failed")
+    __slots__ = ("rep", "on_reply", "attempts", "votes", "failed",
+                 "last_target")
 
     def __init__(self, rep: RepRequest, on_reply: ReplyHandler):
         self.rep = rep
@@ -52,6 +60,19 @@ class _Outstanding:
         self.attempts = 0
         self.votes: List[RepReply] = []
         self.failed = False
+        #: Endpoint of the last point-to-point attempt (circuit-breaker
+        #: attribution); None when the attempt went to the group.
+        self.last_target: Optional[MemberId] = None
+
+
+class _Breaker:
+    """Per-endpoint circuit breaker state."""
+
+    __slots__ = ("consecutive_timeouts", "open_until_us")
+
+    def __init__(self) -> None:
+        self.consecutive_timeouts = 0
+        self.open_until_us = 0.0
 
 
 class ClientReplicator(Actor, ClientTransport):
@@ -75,11 +96,17 @@ class ClientReplicator(Actor, ClientTransport):
         self.members: tuple = ()
         self.on_failure = on_failure
         self._outstanding: Dict[str, _Outstanding] = {}
+        # Per-endpoint circuit breakers (only populated when a
+        # ResiliencePolicy is configured).
+        self._breakers: Dict[MemberId, _Breaker] = {}
         self.requests_sent = 0
         self.retries = 0
         self.replies_received = 0
         self.duplicate_replies = 0
         self.failures = 0
+        self.deadline_giveups = 0
+        self.breaker_trips = 0
+        self.breaker_rerouted = 0
         gcs.on_direct(self._on_direct)
         gcs.watch(self.group, _WatchShim(self))
 
@@ -91,7 +118,12 @@ class ClientReplicator(Actor, ClientTransport):
         """ClientTransport hook: route one invocation to the group."""
         if not self.alive:
             raise ReplicationError(f"{self.process.name} is dead")
-        rep = RepRequest(request=request, client=self.gcs.member)
+        policy = self.config.resilience
+        deadline = None
+        if policy is not None and policy.deadline_us is not None:
+            deadline = self.sim.now + policy.deadline_us
+        rep = RepRequest(request=request, client=self.gcs.member,
+                         deadline_us=deadline)
         entry = _Outstanding(rep, on_reply)
         if not request.oneway:
             self._outstanding[request.request_id] = entry
@@ -159,6 +191,7 @@ class ClientReplicator(Actor, ClientTransport):
                 if carried is not None:
                     set_context(request, carried)
         target = self._routing_target() if first_attempt else None
+        entry.last_target = target
         if target is not None:
             self.gcs.send_direct(target, entry.rep, entry.rep.wire_bytes)
         else:
@@ -172,8 +205,29 @@ class ClientReplicator(Actor, ClientTransport):
             self.retries += 1
         if not request.oneway:
             self.set_timer(f"retry:{request.request_id}",
-                           self.config.retry_timeout_us,
+                           self._retry_delay_us(request.request_id,
+                                                entry.attempts),
                            self._on_timeout, request.request_id)
+
+    def _retry_delay_us(self, request_id: str, attempts: int) -> float:
+        """Rearm interval after the ``attempts``-th transmission.
+
+        Legacy (no resilience policy): the fixed configured timeout.
+        With a policy: exponential backoff capped at ``backoff_cap_us``
+        plus deterministic jitter hashed from (request id, attempt) —
+        never the simulation RNG, so the rest of the run is
+        byte-identical whether or not this client backs off.
+        """
+        policy = self.config.resilience
+        base = self.config.retry_timeout_us
+        if policy is None:
+            return base
+        delay = min(base * policy.backoff_factor ** (attempts - 1),
+                    policy.backoff_cap_us)
+        if policy.jitter_frac > 0.0:
+            h = zlib.crc32(f"{request_id}:{attempts}".encode()) % 1024
+            delay *= 1.0 + policy.jitter_frac * (2.0 * h / 1023.0 - 1.0)
+        return delay
 
     def _routing_target(self) -> Optional[MemberId]:
         """Point-to-point target for the first attempt, or None for
@@ -183,28 +237,85 @@ class ClientReplicator(Actor, ClientTransport):
             # requests so the backups can log them for replay.
             return None
         if self.style.is_passive and self.primary is not None:
+            if self._breaker_open(self.primary):
+                # The primary stopped answering (crashed, wedged in a
+                # minority partition, or unreachable): route around it
+                # via the group multicast until its breaker cools off.
+                self.breaker_rerouted += 1
+                return None
             return self.primary
         return None
+
+    # ------------------------------------------------------------------
+    # Circuit breaker (resilience policy only)
+    # ------------------------------------------------------------------
+    def _breaker_open(self, endpoint: MemberId) -> bool:
+        if self.config.resilience is None:
+            return False
+        breaker = self._breakers.get(endpoint)
+        return breaker is not None and self.sim.now < breaker.open_until_us
+
+    def _breaker_timeout(self, endpoint: MemberId) -> None:
+        policy = self.config.resilience
+        if policy is None:
+            return
+        breaker = self._breakers.setdefault(endpoint, _Breaker())
+        breaker.consecutive_timeouts += 1
+        if breaker.consecutive_timeouts < policy.breaker_threshold \
+                or self.sim.now < breaker.open_until_us:
+            return
+        breaker.open_until_us = self.sim.now + policy.breaker_cooldown_us
+        self.breaker_trips += 1
+        self.trace("repl.client.breaker",
+                   f"breaker open for {endpoint} "
+                   f"({breaker.consecutive_timeouts} consecutive timeouts)")
+        journal = self.sim.journal
+        if journal.enabled:
+            journal.record(self.sim.now, self.process.host.name,
+                           "replicator", "client.breaker_open",
+                           shard=self.shard, process=self.process.name,
+                           endpoint=str(endpoint),
+                           timeouts=breaker.consecutive_timeouts,
+                           until_us=breaker.open_until_us)
+
+    def _breaker_reset(self, endpoint: MemberId) -> None:
+        breaker = self._breakers.get(endpoint)
+        if breaker is not None:
+            breaker.consecutive_timeouts = 0
+            breaker.open_until_us = 0.0
 
     def _on_timeout(self, request_id: str) -> None:
         entry = self._outstanding.get(request_id)
         if entry is None or entry.failed:
             return
-        if entry.attempts > self.config.max_retries:
+        if entry.last_target is not None:
+            self._breaker_timeout(entry.last_target)
+        policy = self.config.resilience
+        expired = (policy is not None
+                   and entry.rep.deadline_us is not None
+                   and self.sim.now >= entry.rep.deadline_us)
+        if expired or entry.attempts > self.config.max_retries:
             entry.failed = True
             self._outstanding.pop(request_id, None)
             self.failures += 1
+            if expired:
+                self.deadline_giveups += 1
+            reason = "deadline" if expired else "retries"
             self.trace("repl.client.failure",
                        f"giving up on {request_id} after "
-                       f"{entry.attempts} attempts")
+                       f"{entry.attempts} attempts ({reason})")
             journal = self.sim.journal
             if journal.enabled:
+                # The ``reason`` attribute only appears on the deadline
+                # path, which only exists under a resilience policy —
+                # legacy journals stay byte-identical.
+                extra = {"reason": "deadline"} if expired else {}
                 journal.record(self.sim.now, self.process.host.name,
                                "replicator", "client.giveup",
                                shard=self.shard,
                                process=self.process.name,
                                request_id=request_id,
-                               attempts=entry.attempts)
+                               attempts=entry.attempts, **extra)
             if self.on_failure is not None:
                 self.on_failure(entry.rep.request)
             return
@@ -218,6 +329,9 @@ class ClientReplicator(Actor, ClientTransport):
         if not isinstance(payload, RepReply):
             return
         self._learn(payload)
+        if self.config.resilience is not None:
+            # Any answer closes the replica's breaker.
+            self._breaker_reset(payload.replica)
         request_id = payload.reply.request_id
         entry = self._outstanding.get(request_id)
         if entry is None:

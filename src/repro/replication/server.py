@@ -300,20 +300,26 @@ class ServerReplicator(Actor, ServerTransport):
                     and self.primary != self.member:
                 self.relays += 1
                 relay = RepRequest(request=rep.request, client=rep.client,
-                                   relayed=True)
+                                   relayed=True, deadline_us=rep.deadline_us)
                 self.gcs.send_direct(self.primary, relay, relay.wire_bytes)
             return
         self._process(rep)
 
     def _republish(self, rep: RepRequest) -> None:
         again = RepRequest(request=rep.request, client=rep.client,
-                           relayed=True)
+                           relayed=True, deadline_us=rep.deadline_us)
         self.gcs.multicast(self.group, again, again.wire_bytes,
                            grade=Grade.AGREED)
 
     def _process(self, rep: RepRequest) -> None:
         request = rep.request
         req_id = request.request_id
+        if rep.deadline_us is not None and self.sim.now > rep.deadline_us:
+            # The propagated deadline passed in flight: the client has
+            # given up, so executing (or even resending a cached reply)
+            # is wasted work — shed it.
+            self._count("replicator_expired_total")
+            return
         if self.owned_filter is not None \
                 and not self.owned_filter(request.object_key):
             # A request for a key this shard no longer owns (it raced
@@ -885,6 +891,14 @@ class ServerReplicator(Actor, ServerTransport):
         previous = self.view
         self.view = view
         if self.member in joined:
+            if previous is not None:
+                # Re-admission after a partition: this replica held a
+                # view before, was excluded while wedged in the
+                # minority, and has now been re-joined by its healed
+                # daemon.  Its state missed everything the majority
+                # processed meanwhile — drop back to unsynced and pull
+                # a fresh checkpoint before serving again.
+                self._synced = False
             if len(view.members) == 1:
                 # First member: no live peer to sync from.  A cold
                 # passive (re)start recovers from stable storage first.

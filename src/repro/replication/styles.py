@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -106,6 +107,53 @@ class ReplicationConfig:
 
 
 @dataclass(frozen=True)
+class ResiliencePolicy:
+    """Partition-aware client resilience knobs.
+
+    Attached to :class:`ClientReplicationConfig` (``resilience=``) to
+    replace the legacy fixed-interval retransmission with the three
+    mechanisms a partition or gray failure calls for:
+
+    - **Backoff**: retry ``n`` waits
+      ``retry_timeout_us * backoff_factor**(n-1)`` (capped at
+      ``backoff_cap_us``) plus deterministic jitter of up to
+      ``±jitter_frac`` — derived by hashing the request id and attempt
+      number, never from the simulation RNG, so enabling resilience on
+      one client perturbs nothing else.
+    - **Deadlines**: each invocation carries an absolute deadline
+      (first-send time + ``deadline_us``) on the wire; the client stops
+      retrying past it and replicas shed requests that arrive already
+      expired instead of burning CPU on answers nobody awaits.
+    - **Circuit breaker**: ``breaker_threshold`` consecutive timeouts
+      against one point-to-point endpoint open a breaker for
+      ``breaker_cooldown_us``; while open, first attempts fall back to
+      the AGREED group multicast, which the reachable majority serves.
+      Any reply from the endpoint closes its breaker.
+    """
+
+    backoff_factor: float = 2.0
+    backoff_cap_us: float = 2_000_000.0
+    jitter_frac: float = 0.1
+    deadline_us: Optional[float] = None
+    breaker_threshold: int = 3
+    breaker_cooldown_us: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff factor must be >= 1")
+        if self.backoff_cap_us <= 0:
+            raise ConfigurationError("backoff cap must be positive")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ConfigurationError("jitter fraction must be in [0, 1)")
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise ConfigurationError("deadline must be positive")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker threshold must be >= 1")
+        if self.breaker_cooldown_us <= 0:
+            raise ConfigurationError("breaker cooldown must be positive")
+
+
+@dataclass(frozen=True)
 class ClientReplicationConfig:
     """Client-side replicator settings.
 
@@ -127,6 +175,11 @@ class ClientReplicationConfig:
         every style and during style switches.
     max_retries:
         After this many retries the invocation is reported failed.
+    resilience:
+        Optional :class:`ResiliencePolicy` enabling exponential
+        backoff, request deadlines and per-endpoint circuit breaking.
+        ``None`` (the default) keeps the legacy fixed-interval rearm
+        exactly, event for event.
     """
 
     group: str
@@ -134,6 +187,7 @@ class ClientReplicationConfig:
     voting: bool = False
     retry_timeout_us: float = 200_000.0
     max_retries: int = 25
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self) -> None:
         if self.retry_timeout_us <= 0:

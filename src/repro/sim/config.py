@@ -100,6 +100,16 @@ class GcsCalibration:
     #: instead of the fixed timeout; tolerant of gradual timing
     #: degradation (the paper's "performance and timing faults").
     adaptive_failure_detection: bool = False
+    #: Primary-partition membership: a daemon that can only reach a
+    #: minority of its current view *wedges* (stops serving, buffers
+    #: client operations) instead of installing a concurrent
+    #: fully-operational view, then rejoins and merges on heal.  Off
+    #: by default — the classic partitionable-membership behaviour is
+    #: what every pre-partition experiment calibrated against.
+    primary_partition: bool = False
+    #: While wedged, how often a daemon probes its unreachable peers
+    #: with rejoin requests so a healed partition merges promptly.
+    rejoin_probe_interval_us: float = 200_000.0
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on invalid fields."""
@@ -108,6 +118,9 @@ class GcsCalibration:
                 "failure timeout must exceed the heartbeat interval")
         if self.history_limit < 16:
             raise ConfigurationError("history_limit too small to be useful")
+        if self.rejoin_probe_interval_us <= 0:
+            raise ConfigurationError(
+                "rejoin probe interval must be positive")
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,9 @@ from repro.journal.events import JournalEvent
 #: Display tag per event-kind prefix, in match order.
 JOURNAL_TAGS: Tuple[Tuple[str, str], ...] = (
     ("fault.inject", "FAULT"),
+    ("fault.restart_skipped", "FAULT"),
+    ("partition", "PARTITION"),
+    ("client.breaker_open", "BREAKER"),
     ("detector.suspect", "DETECT"),
     ("membership.view", "GROUP"),
     ("daemon.install", "VIEW"),
@@ -87,6 +90,21 @@ def _describe(event: JournalEvent) -> str:
         return f"{attrs.get('member')} takes over as primary"
     if event.kind == "state.sync":
         return f"{attrs.get('member')} synced"
+    if event.kind == "fault.restart_skipped":
+        return (f"restart of {attrs.get('target')} skipped (host down); "
+                f"crash-only semantics apply")
+    if event.kind == "partition.detected":
+        return (f"minority component {attrs.get('live')} of "
+                f"{attrs.get('members')}")
+    if event.kind == "partition.wedged":
+        return (f"wedged with {attrs.get('live')}; "
+                f"groups {attrs.get('groups')} degraded")
+    if event.kind == "partition.healed":
+        return (f"merged into daemon view {attrs.get('view_id')} "
+                f"members {attrs.get('members')}")
+    if event.kind == "client.breaker_open":
+        return (f"circuit open on {attrs.get('endpoint')} after "
+                f"{attrs.get('timeouts')} timeout(s); rerouting")
     if event.kind == "client.giveup":
         return (f"gave up on {attrs.get('request_id')} after "
                 f"{attrs.get('attempts')} attempts")

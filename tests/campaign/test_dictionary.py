@@ -86,3 +86,29 @@ def test_bad_fraction_rejected_at_schedule_time():
             run_with_load("bad_fraction")
     finally:
         _LOADS.pop("bad_fraction", None)
+
+
+def test_topology_loads_registered():
+    assert {"partition", "asym_partition", "flaky_link", "slow_host",
+            "partition_under_load"} <= set(available_loads())
+
+
+def test_partition_load_schedules_split_and_heal():
+    result = run_with_load("partition", n_replicas=3)
+    (fault,) = result.injected
+    assert fault.kind == "partition"
+    assert fault.until_us > fault.at_us
+
+
+def test_gray_failure_loads_record_their_kind():
+    for name, kind in (("asym_partition", "asym_partition"),
+                       ("flaky_link", "flaky_link"),
+                       ("slow_host", "slow_host")):
+        result = run_with_load(name, n_replicas=3)
+        assert [f.kind for f in result.injected] == [kind], name
+
+
+def test_partition_under_load_is_a_composite():
+    result = run_with_load("partition_under_load", n_replicas=3)
+    assert sorted(f.kind for f in result.injected) \
+        == ["partition", "slow_host"]

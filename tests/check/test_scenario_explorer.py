@@ -62,7 +62,8 @@ class TestScenarioRoundTrip:
 
     def test_known_mutations_registered(self):
         assert set(MUTATIONS) == {"skip_final_checkpoint",
-                                  "forget_seen_cache"}
+                                  "forget_seen_cache",
+                                  "minority_serves"}
 
 
 class TestExploration:
@@ -135,3 +136,44 @@ class TestArtifacts:
         path = tmp_path / "repro.json"
         write_artifact(artifact, str(path))
         assert load_artifact(str(path)) == artifact
+
+
+class TestPartitionScenario:
+    def _scenario(self, **overrides):
+        from repro.check import canonical_partition_scenario
+        base = replace(canonical_partition_scenario(), n_requests=4,
+                       horizon_us=4_000_000.0, settle_us=1_000_000.0)
+        return replace(base, **overrides)
+
+    def test_clean_partition_exploration_verifies(self):
+        result = explore(self._scenario(), budget=2)
+        assert result.ok
+        assert result.schedules_run == 2
+        # Ground truth made it into every schedule's journal.
+        for report in result.reports:
+            assert report.decisions
+
+    def test_minority_serves_caught(self):
+        result = explore(self._scenario(mutation="minority_serves"),
+                         budget=10)
+        assert not result.ok
+        invariants = {v.invariant
+                      for v in result.violating[0].violations}
+        assert invariants & {"no_split_brain", "daemon_view_agreement"}
+
+    def test_partition_scenario_requires_heal_after_split(self):
+        from repro.check import prepare_schedule
+        from repro.errors import VerificationError
+        with pytest.raises(VerificationError):
+            prepare_schedule(self._scenario(heal_at_us=None))
+        with pytest.raises(VerificationError):
+            prepare_schedule(self._scenario(heal_at_us=8_000.0))
+
+    def test_partitionedness_is_a_prefix_parameter(self):
+        from repro.check import finish_schedule, prepare_schedule
+        from repro.errors import VerificationError
+        prepared = prepare_schedule(self._scenario())
+        unpartitioned = replace(self._scenario(), partition_at_us=None,
+                                heal_at_us=None)
+        with pytest.raises(VerificationError):
+            finish_schedule(prepared, scenario=unpartitioned)

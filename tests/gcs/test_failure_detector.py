@@ -97,6 +97,86 @@ class TestAdaptiveDetector:
             AdaptiveDetector(floor_us=100.0, ceiling_us=50.0)
 
 
+class TestAdaptiveUnderDelaySpike:
+    """Regression coverage for the timing-fault contract: a delay
+    spike that keeps inter-arrivals below the adapted threshold must
+    cause no false suspicion, and the threshold must re-tighten once
+    the spike window ends (the window slides the spiked samples out).
+    """
+
+    BASE_GAP = 10_000.0
+
+    def _train(self, fd, t, n=32, jitter=(0.0, 400.0, -300.0, 200.0)):
+        for i in range(n):
+            fd.heard_from("a", t)
+            t += self.BASE_GAP + jitter[i % len(jitter)]
+        return t
+
+    def test_spike_below_adapted_threshold_no_false_suspicion(self):
+        fd = AdaptiveDetector(safety_factor=4.0, margin_us=1_000.0,
+                              window=32, floor_us=2_000.0)
+        t = self._train(fd, 0.0)
+        threshold = fd.threshold_us("a")
+        # A spike that stretches gaps to 90 % of the adapted
+        # threshold: late, but inside mean + safety_factor * std.
+        spiked_gap = threshold * 0.9
+        assert spiked_gap > self.BASE_GAP  # it *is* a degradation
+        for _ in range(16):
+            assert fd.suspects(["a"], t) == set()
+            fd.heard_from("a", t)
+            t += spiked_gap
+        assert fd.suspects(["a"], t - spiked_gap * 0.05) == set()
+
+    def test_threshold_retightens_after_spike_window(self):
+        fd = AdaptiveDetector(safety_factor=4.0, margin_us=1_000.0,
+                              window=32, floor_us=2_000.0)
+        t = self._train(fd, 0.0)
+        calm = fd.threshold_us("a")
+        spiked_gap = calm * 0.9
+        for _ in range(16):
+            fd.heard_from("a", t)
+            t += spiked_gap
+        inflated = fd.threshold_us("a")
+        assert inflated > calm  # the spike loosened the threshold
+        # Spike over: regular heartbeats slide every spiked sample
+        # out of the window and the threshold converges back down.
+        t = self._train(fd, t)
+        recovered = fd.threshold_us("a")
+        assert recovered < inflated
+        assert recovered < calm * 1.5
+
+    def test_injected_delay_spike_does_not_collapse_membership(self):
+        """End to end: an injector ``delay_spike`` below the adapted
+        slack leaves the membership intact, and the detector's
+        thresholds come back down after the window."""
+        from repro.faults import FaultInjector
+        from repro.sim import default_calibration
+        calibration = default_calibration().with_overrides(
+            gcs=GcsCalibration(adaptive_failure_detection=True))
+        cluster = Cluster(["h1", "h2", "h3"], seed=7,
+                          calibration=calibration,
+                          deterministic_network=False)
+        cluster.run(2_000_000)  # train on calm heartbeats
+        injector = FaultInjector(cluster.sim, cluster.network)
+        injector.delay_spike(cluster.sim.now,
+                             cluster.sim.now + 3_000_000.0,
+                             extra_us=150_000.0)
+        cluster.run(3_000_000)
+        for daemon in cluster.daemons.values():
+            assert daemon.view.members == ("h1", "h2", "h3")
+        inflated = max(
+            d._detector.threshold_us(peer)
+            for d in cluster.daemons.values()
+            for peer in ("h1", "h2", "h3") if peer != d.host.name)
+        cluster.run(8_000_000)  # calm again: window slides spike out
+        for daemon in cluster.daemons.values():
+            assert daemon.view.members == ("h1", "h2", "h3")
+            for peer in ("h1", "h2", "h3"):
+                if peer == daemon.host.name:
+                    continue
+                assert daemon._detector.threshold_us(peer) <= inflated
+
+
 class TestDetectorsInTheDaemon:
     def _timing_fault(self, cluster, duration_us=8_000_000.0,
                       peak_us=900_000.0):

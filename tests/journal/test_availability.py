@@ -294,3 +294,149 @@ class TestPerShardAttribution:
         assert reports["shard0"].n_outages == 1
         assert reports["shard1"].downtime_us == 0.0
         assert reports["shard1"].n_outages == 0
+
+
+def wedge(at, host="h3", groups=("svc",)):
+    return (at, host, "gcs", "partition.wedged",
+            {"live": [host], "groups": list(groups)})
+
+
+def heal(at, host="h3", groups=("svc",)):
+    return (at, host, "gcs", "partition.healed",
+            {"view_id": 7, "members": ["h1", "h2", "h3"],
+             "groups": list(groups)})
+
+
+class TestWedgeWindows:
+    def test_pairs_per_host(self):
+        from repro.journal import wedge_windows
+        events = build(wedge(100.0, host="h3"), wedge(150.0, host="h4"),
+                       heal(300.0, host="h3"), heal(500.0, host="h4"))
+        assert wedge_windows(events) == [("h3", 100.0, 300.0),
+                                         ("h4", 150.0, 500.0)]
+
+    def test_unclosed_window_is_open_ended(self):
+        from repro.journal import wedge_windows
+        events = build(wedge(100.0))
+        assert wedge_windows(events) == [("h3", 100.0, None)]
+
+    def test_heal_without_wedge_ignored(self):
+        from repro.journal import wedge_windows
+        assert wedge_windows(build(heal(300.0))) == []
+
+
+class TestWedgeBilling:
+    def partition_fault(self, at, until):
+        return (at, "net", "injector", "fault.inject",
+                {"fault": "partition", "target": "net", "at_us": at,
+                 "until_us": until,
+                 "components": [["h3"], ["h1", "h2"]]})
+
+    def test_wedge_window_bills_degraded_not_down(self):
+        events = build(self.partition_fault(100.0, 600.0),
+                       wedge(150.0), heal(620.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.downtime_us == 0.0
+        assert report.availability == 1.0
+        assert report.degraded_us == pytest.approx(470.0)
+        assert [w.state for w in report.windows] == [
+            "up", "degraded", "up"]
+
+    def test_unhealed_wedge_degrades_to_window_end(self):
+        events = build(self.partition_fault(700.0, 2_000.0),
+                       wedge(800.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.degraded_us == pytest.approx(200.0)
+        assert report.windows[-1].state == "degraded"
+
+    def test_downtime_still_trumps_wedge_degradation(self):
+        events = build(self.partition_fault(100.0, 900.0),
+                       wedge(100.0),
+                       crash(300.0), view_drop(500.0),
+                       heal(900.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.downtime_us == pytest.approx(200.0)
+        assert report.degraded_us == pytest.approx(600.0)
+        assert [w.state for w in report.windows] == [
+            "up", "degraded", "down", "degraded", "up"]
+
+
+class TestCrashOnlyFallback:
+    def crash_restart(self, at, until):
+        return crash(at, fault="crash_restart", until=until)
+
+    def sync(self, at):
+        return (at, "s02", "replicator", "state.sync",
+                {"member": "svc-r2#9@s02", "style": "warm_passive"})
+
+    def test_skipped_restart_ignores_late_state_sync(self):
+        events = build(
+            self.crash_restart(100.0, 300.0),
+            (300.0, "net", "injector", "fault.restart_skipped",
+             {"target": "svc-r2", "at_us": 100.0}),
+            self.sync(350.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        # The promised restart never happened: the 350 us state.sync is
+        # another replica's and cannot close this outage.
+        assert report.downtime_us == pytest.approx(900.0)
+
+    def test_without_skip_marker_state_sync_closes_the_outage(self):
+        events = build(self.crash_restart(100.0, 300.0),
+                       self.sync(350.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        assert report.downtime_us == pytest.approx(250.0)
+
+    def test_early_state_sync_still_closes_even_when_skipped(self):
+        events = build(
+            self.crash_restart(100.0, 300.0),
+            (300.0, "net", "injector", "fault.restart_skipped",
+             {"target": "svc-r2", "at_us": 100.0}),
+            self.sync(250.0))
+        report = availability_report(events, window_start_us=0.0,
+                                     window_end_us=1_000.0)
+        # A sync before the promised restart instant is a genuine
+        # recovery of some other replica serving the group.
+        assert report.downtime_us == pytest.approx(150.0)
+
+
+class TestMultiShardAttribution:
+    def multi_events(self):
+        journal = Journal()
+        journal.record(10.0, "s01", "cluster", "shard",
+                       shard="shard0", style="active")
+        journal.record(10.0, "s02", "cluster", "shard",
+                       shard="shard1", style="active")
+        journal.record(100.0, "h3", "gcs", "partition.wedged",
+                       live=["h3"], groups=["shard0", "shard1"])
+        journal.record(400.0, "h3", "gcs", "partition.healed",
+                       view_id=7, members=["h1", "h2", "h3"],
+                       groups=["shard0", "shard1"])
+        return journal.events
+
+    def test_event_shards_returns_every_listed_group(self):
+        from repro.journal import event_shards
+        events = self.multi_events()
+        shards = discover_shards(events)
+        assert event_shards(events[2], shards) == ("shard0", "shard1")
+        # event_shard collapses to the first for single-owner callers.
+        assert event_shard(events[2], shards) == "shard0"
+
+    def test_discover_shards_reads_groups_attr(self):
+        journal = Journal()
+        journal.record(100.0, "h3", "gcs", "partition.wedged",
+                       live=["h3"], groups=["only", "cluster.ctl"])
+        assert discover_shards(journal.events) == ("only",)
+
+    def test_wedge_bills_degraded_to_every_listed_shard(self):
+        reports = per_shard_reports(self.multi_events(),
+                                    window_start_us=0.0,
+                                    window_end_us=1_000.0)
+        assert set(reports) == {"shard0", "shard1"}
+        for name in ("shard0", "shard1"):
+            assert reports[name].degraded_us == pytest.approx(300.0)
+            assert reports[name].downtime_us == 0.0

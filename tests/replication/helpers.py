@@ -17,6 +17,7 @@ from repro.replication import (
     ReplicationConfig,
     ReplicationStyle,
 )
+from repro.replication.styles import ResiliencePolicy
 
 #: Long enough for heartbeat-based failure detection + flush.
 FAILOVER_US = 1_500_000
@@ -28,7 +29,8 @@ def build_rig(style: ReplicationStyle, n_replicas: int = 3,
               broadcast_requests: bool = False,
               checkpoint_interval: int = 1,
               voting: bool = False,
-              sync_checkpoints: bool = True):
+              sync_checkpoints: bool = True,
+              resilience: Optional[ResiliencePolicy] = None):
     """Standard rig: N replicas + M clients on the paper's testbed."""
     testbed = Testbed.paper_testbed(max(n_replicas, 1), max(n_clients, 1),
                                     seed=seed)
@@ -42,7 +44,8 @@ def build_rig(style: ReplicationStyle, n_replicas: int = 3,
         config, servants, sync_checkpoints=sync_checkpoints)
     clients = [
         deploy_client(testbed, f"w{i:02d}", ClientReplicationConfig(
-            group="svc", expected_style=style, voting=voting))
+            group="svc", expected_style=style, voting=voting,
+            resilience=resilience))
         for i in range(1, n_clients + 1)
     ]
     testbed.run(100_000)
